@@ -1,0 +1,56 @@
+"""Sec. V-C: AMR reduces active grid points by 89-94% vs the equivalent
+uniform grid, at matched finest-level resolution.
+
+Checks both layers: the Summit-scale synthetic hierarchies used by the
+performance model, and the functional solver's dynamically generated
+hierarchies on the real DMR flow.
+"""
+
+import pytest
+
+from benchmarks.conftest import FULL, table
+from repro.perfmodel.decomposition import amr_reduction, dmr_band_hierarchy
+from repro.perfmodel.scaling import TABLE1
+
+
+def test_amr_savings_model_scale(benchmark):
+    entries = TABLE1 if FULL else TABLE1[:4]
+
+    def build():
+        return [
+            (nodes, amr_reduction(dmr_band_hierarchy(pts, gpus, 6, True)))
+            for nodes, gpus, pts in entries
+        ]
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    table("AMR active-point reduction (Summit-scale hierarchies)",
+          ("nodes", "reduction"), [(n, f"{r:.1%}") for n, r in rows])
+    print("  paper: 89-94% reduction relative to the AMR-disabled solution")
+    for _n, r in rows:
+        assert 0.85 <= r <= 0.95
+
+
+def test_amr_savings_functional(benchmark):
+    """The real solver's dynamic hierarchy on the DMR flow."""
+    from repro.cases.dmr import DoubleMachReflection
+    from repro.core.crocco import Crocco, CroccoConfig
+
+    def run():
+        case = DoubleMachReflection(ncells=(128, 32))
+        sim = Crocco(case, CroccoConfig(version="1.2", max_level=2,
+                                        max_grid_size=32, blocking_factor=8,
+                                        regrid_int=4))
+        sim.initialize()
+        for _ in range(4):
+            sim.step()
+        return sim
+
+    sim = benchmark.pedantic(run, rounds=1, iterations=1)
+    savings = sim.amr_savings()
+    print(f"\n  functional DMR hierarchy: {savings:.1%} of equivalent "
+          f"uniform points saved")
+    print(f"  active {sim.num_active_pts()} vs equivalent "
+          f"{sim.equivalent_uniform_pts()}")
+    # at this coarse resolution the shock band is relatively wide, so the
+    # saving is below the paper's production-scale 89-94% but substantial
+    assert 0.5 < savings < 0.97

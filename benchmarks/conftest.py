@@ -1,0 +1,29 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints the corresponding rows/series next to the paper's reported values.
+Set ``REPRO_FULL=1`` to run the full paper-scale parameter sweeps (several
+minutes for the Summit-scale decompositions); the default sizes preserve
+every qualitative shape at a fraction of the cost.
+"""
+
+import os
+
+import pytest
+
+FULL = os.environ.get("REPRO_FULL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def full_scale() -> bool:
+    return FULL
+
+
+def table(title, header, rows):
+    """Print an aligned results table."""
+    print(f"\n== {title} ==")
+    widths = [max(len(str(h)), max((len(str(r[i])) for r in rows), default=0))
+              for i, h in enumerate(header)]
+    print("  " + "  ".join(str(h).rjust(w) for h, w in zip(header, widths)))
+    for r in rows:
+        print("  " + "  ".join(str(c).rjust(w) for c, w in zip(r, widths)))

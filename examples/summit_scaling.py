@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Summit scaling study (Fig. 5 of the paper), via the performance model.
+
+Regenerates the strong- and weak-scaling series for CRoCCo 1.1 / 1.2 /
+2.0 / 2.1 using exact decomposition metadata priced by the Summit machine
+models.  Use ``--small`` for a fast reduced-size sweep.
+
+Usage:  python examples/summit_scaling.py [--small]
+"""
+
+import sys
+
+from repro.perfmodel.scaling import (
+    TABLE1,
+    speedup_series,
+    strong_scaling,
+    weak_scaling,
+    weak_scaling_efficiency,
+)
+
+
+def main() -> None:
+    small = "--small" in sys.argv
+    if small:
+        nodes = (4, 16, 64)
+        points = 2.0e7
+        table = tuple((n, 6 * n, 5.0e6 * n) for n in nodes)
+    else:
+        nodes = (16, 32, 64, 128, 256, 512, 1024)
+        points = 1.27e9
+        table = TABLE1
+
+    print(f"== strong scaling: {points:.3g} grid points ==")
+    ss = strong_scaling(versions=("1.1", "1.2", "2.0"), nodes=nodes,
+                        points=points)
+    header = f"{'nodes':>6} " + " ".join(f"{v:>10}" for v in ss)
+    print(header)
+    for k, n in enumerate(nodes):
+        row = f"{n:6d} " + " ".join(
+            f"{ss[v][k].time_per_iteration:10.3f}" for v in ss
+        )
+        print(row + "   s/iter")
+    print("\nAMR speedup (1.1 over 1.2):",
+          [f"{s:.1f}x" for s in speedup_series(ss["1.1"], ss["1.2"])])
+    print("GPU speedup (1.2 over 2.0):",
+          [f"{s:.1f}x" for s in speedup_series(ss["1.2"], ss["2.0"])])
+    print("cumulative  (1.1 over 2.0):",
+          [f"{s:.1f}x" for s in speedup_series(ss["1.1"], ss["2.0"])])
+    print("(paper: AMR 4.6x -> 1.1x slowdown; GPU 44x -> 6x; "
+          "cumulative 201x -> 5.5x)")
+
+    print("\n== weak scaling (Table I) ==")
+    ws = weak_scaling(versions=("1.1", "1.2", "2.0", "2.1"), table=table)
+    print(f"{'nodes':>6} {'equiv pts':>10} " + " ".join(f"{v:>8}" for v in ws))
+    for k, (n, _g, pts) in enumerate(table):
+        print(f"{n:6d} {pts:10.2e} " + " ".join(
+            f"{ws[v][k].time_per_iteration:8.3f}" for v in ws))
+    for v in ("2.0", "2.1"):
+        eff = weak_scaling_efficiency(ws[v])
+        print(f"weak efficiency {v}: " + " ".join(f"{e:.0%}" for e in eff))
+    print("(paper: 2.0 about 54% at 400 nodes and 40% at 1024; 2.1 about "
+          "70% at 400)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Legacy setup shim.
+
+The reproduction environment has no network access and no ``wheel``
+package, so PEP 517/660 builds are unavailable; this setup.py lets
+``pip install -e .`` take the legacy editable-install path.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="2.0.0",
+    description=(
+        "CRoCCo v2.0 reproduction: curvilinear AMR CFD with simulated "
+        "GPU/Summit substrates"
+    ),
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy>=1.23", "scipy>=1.9"],
+)

@@ -1,0 +1,33 @@
+"""Block-structured AMR substrate (AMReX-equivalent).
+
+This package reimplements, in pure Python/NumPy, the subset of the AMReX
+framework that CRoCCo v2.0 depends on: box/index algebra, box arrays with
+fast intersection, distribution mappings (Z-Morton space-filling curve,
+knapsack), patch data containers (FArrayBox / MultiFab) with ghost cells,
+ghost exchange (FillBoundary), global redistribution (ParallelCopy),
+fill-patch operations across refinement levels, fine-to-coarse averaging
+(AverageDown), interpolators (trilinear, curvilinear-weighted, WENO),
+error tagging with Berger-Rigoutsos clustering, and the AmrCore level
+hierarchy with dynamic regridding.
+"""
+
+from repro.amr.intvect import IntVect
+from repro.amr.box import Box
+from repro.amr.boxarray import BoxArray
+from repro.amr.distribution import DistributionMapping
+from repro.amr.geometry import Geometry
+from repro.amr.fab import FArrayBox
+from repro.amr.multifab import MultiFab
+from repro.amr.amrcore import AmrCore, AmrConfig
+
+__all__ = [
+    "IntVect",
+    "Box",
+    "BoxArray",
+    "DistributionMapping",
+    "Geometry",
+    "FArrayBox",
+    "MultiFab",
+    "AmrCore",
+    "AmrConfig",
+]

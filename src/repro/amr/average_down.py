@@ -1,0 +1,59 @@
+"""AverageDown: restrict fine-level data onto covered coarse cells.
+
+After the final RK3 stage of a step, CRoCCo sets every coarse cell that is
+covered by fine patches to the arithmetic mean of the covering fine cells
+(Algorithm 2, line 11), keeping the levels consistent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.amr.box import Box
+from repro.amr.intvect import IntVect, IntVectLike
+from repro.amr.multifab import MultiFab
+
+
+def average_down(fine: MultiFab, crse: MultiFab, ratio: IntVectLike) -> None:
+    """Overwrite coarse cells covered by ``fine`` with fine-cell averages.
+
+    Data motion between differently-owned patches is recorded as
+    ``averagedown`` traffic in the communicator's ledger.
+    """
+    if fine.ncomp != crse.ncomp:
+        raise ValueError("AverageDown component mismatch")
+    r = IntVect.coerce(ratio, fine.dim)
+    for i, cfab in crse:
+        for j in fine.ba.intersecting(cfab.box.refine(r)):
+            fbox = fine.ba[j]
+            overlap_c = _fully_covered(fbox, r).intersect(cfab.box)
+            if overlap_c.is_empty():
+                continue
+            overlap_f = overlap_c.refine(r)
+            fview = fine.fab(j).view(overlap_f)  # (ncomp, *fine shape)
+            avg = _block_mean(fview, r)
+            cfab.view(overlap_c)[...] = avg
+            fine.comm.send_bytes(fine.dm[j], crse.dm[i], avg.nbytes, "averagedown")
+
+
+def _fully_covered(fbox: Box, r: IntVect) -> Box:
+    """Largest coarse box whose refinement lies inside ``fbox``."""
+    lo = [-(-l // rr) for l, rr in zip(fbox.lo, r)]  # ceil division
+    hi = [(h + 1) // rr - 1 for h, rr in zip(fbox.hi, r)]
+    return Box(IntVect(*lo), IntVect(*hi))
+
+
+def _block_mean(fview: np.ndarray, r: IntVect) -> np.ndarray:
+    """Mean over r-sized blocks of a (ncomp, n1*r1[, n2*r2[, n3*r3]]) array."""
+    ncomp = fview.shape[0]
+    dim = len(r)
+    new_shape = [ncomp]
+    for d in range(dim):
+        n = fview.shape[d + 1]
+        if n % r[d] != 0:
+            raise ValueError("fine view not aligned to refinement ratio")
+        new_shape.extend([n // r[d], r[d]])
+    resh = fview.reshape(new_shape)
+    # average over the interleaved ratio axes (2, 4, 6 ... after reshape)
+    axes = tuple(2 + 2 * d for d in range(dim))
+    return resh.mean(axis=axes)

@@ -1,0 +1,56 @@
+"""FillBoundary: ghost-cell exchange between same-level patches.
+
+This is the point-to-point part of AMReX's FillPatch machinery: every
+patch's ghost cells that are covered by another patch's valid region (or by
+a periodic image of one) are copied over, and each copy is recorded in the
+communicator's ledger as a ``fillboundary`` message between the owning
+ranks.  Ghost cells not covered by any patch (physical-boundary or
+coarse/fine-interface ghosts) are left untouched — those are filled by
+``BC_Fill`` and by interpolation in FillPatchTwoLevels respectively.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.amr.geometry import Geometry
+from repro.amr.multifab import MultiFab
+
+
+def fill_boundary(mf: MultiFab, geom: Optional[Geometry] = None) -> None:
+    """Fill ghost cells of every fab in ``mf`` from neighboring valid data.
+
+    ``geom`` supplies periodicity; without it only direct overlaps are used.
+    """
+    if mf.ngrow.max() == 0:
+        return
+    ba = mf.ba
+    for i, dst in mf:
+        grown = dst.grown_box()
+        # direct neighbors (disjoint BoxArray => overlaps lie in ghost region)
+        for j, overlap in ba.intersections(grown):
+            if j == i:
+                continue
+            nbytes = dst.copy_from(mf.fab(j), overlap)
+            mf.comm.send_bytes(mf.dm[j], mf.dm[i], nbytes, "fillboundary")
+        # periodic images
+        if geom is not None and any(geom.periodic):
+            for shift in geom.periodic_shifts(grown):
+                shifted = grown.shift(shift)
+                for j, overlap in ba.intersections(shifted):
+                    dst_region = overlap.shift(-shift)
+                    # skip the trivial self-overlap of the valid region
+                    if dst.box.contains(dst_region):
+                        continue
+                    nbytes = dst.copy_shifted_from(mf.fab(j), dst_region, shift)
+                    mf.comm.send_bytes(mf.dm[j], mf.dm[i], nbytes, "fillboundary")
+
+
+def boundary_regions(mf: MultiFab, i: int):
+    """The ghost sub-boxes of fab ``i`` not covered by any same-level patch.
+
+    These are the cells that physical boundary conditions (BC_Fill) or
+    coarse-to-fine interpolation must supply.
+    """
+    dst = mf.fab(i)
+    return mf.ba.complement_in(dst.grown_box())

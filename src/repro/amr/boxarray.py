@@ -1,0 +1,206 @@
+"""Collections of boxes covering (part of) a level's domain.
+
+``BoxArray`` mirrors ``amrex::BoxArray``: an ordered list of disjoint
+cell-centered boxes at a single refinement level, with fast queries for
+"which boxes intersect this region?" backed by a coarse spatial hash so
+that intersection tests scale to tens of thousands of boxes (needed for
+the metadata-only Summit-scale decompositions in ``repro.perfmodel``).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.amr.box import Box
+from repro.amr.intvect import IntVect, IntVectLike
+
+
+class BoxArray:
+    """An immutable ordered collection of boxes at one refinement level."""
+
+    def __init__(self, boxes: Iterable[Box]) -> None:
+        self._boxes: Tuple[Box, ...] = tuple(boxes)
+        if not self._boxes:
+            self._dim = 0
+        else:
+            self._dim = self._boxes[0].dim
+            for b in self._boxes:
+                if b.dim != self._dim:
+                    raise ValueError("all boxes in a BoxArray must share a dimension")
+                if b.is_empty():
+                    raise ValueError(f"empty box in BoxArray: {b}")
+        self._hash: Optional[Dict[Tuple[int, ...], List[int]]] = None
+        self._hash_cell: Optional[int] = None
+
+    # -- construction -----------------------------------------------------
+    @classmethod
+    def from_domain(cls, domain: Box, max_grid_size: IntVectLike,
+                    blocking_factor: IntVectLike = 1) -> "BoxArray":
+        """Decompose a domain box into chunks of at most ``max_grid_size``.
+
+        Every resulting box has sides divisible by ``blocking_factor``
+        (provided the domain itself is); this mirrors the AMReX input-deck
+        parameters ``amr.max_grid_size`` and ``amr.blocking_factor``.
+        """
+        bf = IntVect.coerce(blocking_factor, domain.dim)
+        ms = IntVect.coerce(max_grid_size, domain.dim)
+        for d in range(domain.dim):
+            if ms[d] % bf[d] != 0:
+                raise ValueError(
+                    f"max_grid_size {ms[d]} not divisible by blocking_factor {bf[d]}"
+                )
+            if domain.size()[d] % bf[d] != 0:
+                raise ValueError(
+                    f"domain size {domain.size()[d]} not divisible by "
+                    f"blocking_factor {bf[d]} in direction {d}"
+                )
+        # Chop in blocking-factor units so all cuts are aligned.
+        coarse = Box(domain.lo.coarsen(bf),
+                     (domain.hi + IntVect.unit(domain.dim)).coarsen(bf) - IntVect.unit(domain.dim))
+        chunks = coarse.max_size_chop(ms // bf)
+        return cls(c.refine(bf) for c in chunks)
+
+    # -- protocol --------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._boxes)
+
+    def __iter__(self) -> Iterator[Box]:
+        return iter(self._boxes)
+
+    def __getitem__(self, i: int) -> Box:
+        return self._boxes[i]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BoxArray):
+            return NotImplemented
+        return self._boxes == other._boxes
+
+    def __hash__(self) -> int:
+        return hash(self._boxes)
+
+    def __repr__(self) -> str:
+        return f"BoxArray(n={len(self)}, pts={self.num_pts()})"
+
+    @property
+    def dim(self) -> int:
+        return self._dim
+
+    def boxes(self) -> Tuple[Box, ...]:
+        return self._boxes
+
+    def num_pts(self) -> int:
+        """Total number of cells over all boxes."""
+        return sum(b.num_pts() for b in self._boxes)
+
+    def minimal_box(self) -> Box:
+        """Smallest single box containing every box in the array."""
+        if not self._boxes:
+            raise ValueError("minimal_box of empty BoxArray")
+        lo = self._boxes[0].lo
+        hi = self._boxes[0].hi
+        for b in self._boxes[1:]:
+            lo = lo.min_with(b.lo)
+            hi = hi.max_with(b.hi)
+        return Box(lo, hi)
+
+    # -- transformations -----------------------------------------------------
+    def coarsen(self, ratio: IntVectLike) -> "BoxArray":
+        return BoxArray(b.coarsen(ratio) for b in self._boxes)
+
+    def refine(self, ratio: IntVectLike) -> "BoxArray":
+        return BoxArray(b.refine(ratio) for b in self._boxes)
+
+    def grow(self, n: IntVectLike) -> "BoxArray":
+        return BoxArray(b.grow(n) for b in self._boxes)
+
+    # -- spatial-hash accelerated queries -------------------------------------
+    def _build_hash(self) -> None:
+        # Bucket size: the largest box side, so each box spans O(2^dim) buckets.
+        cell = max(max(b.size()) for b in self._boxes)
+        table: Dict[Tuple[int, ...], List[int]] = defaultdict(list)
+        for i, b in enumerate(self._boxes):
+            lo = tuple(c // cell for c in b.lo)
+            hi = tuple(c // cell for c in b.hi)
+            ranges = [range(l, h + 1) for l, h in zip(lo, hi)]
+
+            def rec(prefix, rest):
+                if not rest:
+                    table[tuple(prefix)].append(i)
+                    return
+                for k in rest[0]:
+                    rec(prefix + [k], rest[1:])
+
+            rec([], ranges)
+        self._hash = dict(table)
+        self._hash_cell = cell
+
+    def intersecting(self, region: Box) -> List[int]:
+        """Indices of boxes intersecting ``region`` (sorted, deduplicated)."""
+        if not self._boxes:
+            return []
+        if region.is_empty():
+            return []
+        if self._hash is None:
+            self._build_hash()
+        cell = self._hash_cell
+        assert cell is not None and self._hash is not None
+        lo = tuple(c // cell for c in region.lo)
+        hi = tuple(c // cell for c in region.hi)
+        cand: set = set()
+        ranges = [range(l, h + 1) for l, h in zip(lo, hi)]
+
+        def rec(prefix, rest):
+            if not rest:
+                cand.update(self._hash.get(tuple(prefix), ()))
+                return
+            for k in rest[0]:
+                rec(prefix + [k], rest[1:])
+
+        rec([], ranges)
+        return sorted(i for i in cand if self._boxes[i].intersects(region))
+
+    def intersections(self, region: Box) -> List[Tuple[int, Box]]:
+        """(index, overlap box) pairs for all boxes intersecting ``region``."""
+        return [(i, self._boxes[i].intersect(region)) for i in self.intersecting(region)]
+
+    def contains(self, region: Box) -> bool:
+        """Whether the union of boxes fully covers ``region``."""
+        remaining = [region]
+        for i in self.intersecting(region):
+            nxt: List[Box] = []
+            for r in remaining:
+                nxt.extend(r.diff(self._boxes[i]))
+            remaining = nxt
+            if not remaining:
+                return True
+        return not remaining
+
+    def complement_in(self, region: Box) -> List[Box]:
+        """The part of ``region`` not covered by any box, as disjoint boxes."""
+        remaining = [region]
+        for i in self.intersecting(region):
+            nxt: List[Box] = []
+            for r in remaining:
+                nxt.extend(r.diff(self._boxes[i]))
+            remaining = nxt
+            if not remaining:
+                break
+        return remaining
+
+    def is_disjoint(self) -> bool:
+        """Whether no two boxes overlap."""
+        for i, b in enumerate(self._boxes):
+            for j in self.intersecting(b):
+                if j != i:
+                    return False
+        return True
+
+    def centers(self) -> np.ndarray:
+        """(n, dim) array of integer box centers (doubled to stay integral)."""
+        return np.array(
+            [[l + h for l, h in zip(b.lo, b.hi)] for b in self._boxes],
+            dtype=np.int64,
+        )

@@ -1,0 +1,210 @@
+"""FillPatch: assemble ghost data for a level from all available sources.
+
+Mirrors ``amrex::FillPatchUtil``:
+
+- :func:`fill_patch_single_level` — for the coarsest level: same-level
+  ghost exchange (point-to-point FillBoundary) plus physical boundary fill.
+- :func:`fill_patch_two_levels` — for finer levels: same-level exchange,
+  then coarse-to-fine interpolation into ghost cells at coarse/fine
+  interfaces, then physical boundary fill.  When the interpolator needs
+  physical coordinates (the curvilinear scheme), the coordinates MultiFab
+  is first copied into a temporary with extra ghost cells via a *global*
+  ``ParallelCopy`` — the communication bottleneck the paper isolates by
+  comparing CRoCCo 2.0 (custom curvilinear interpolator) with 2.1
+  (built-in trilinear interpolator, no ParallelCopy).
+- :func:`fill_coarse_patch` — initialize an entire new fine level from
+  coarse data (used by regrid when new patches appear).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.amr.box import Box
+from repro.amr.fab import FArrayBox
+from repro.amr.geometry import Geometry
+from repro.amr.intvect import IntVect, IntVectLike
+from repro.amr.interpolate import Interpolator
+from repro.amr.multifab import MultiFab
+
+#: signature: bc_fill(fab, geom, time) fills ghost cells outside the domain
+BCFill = Callable[[FArrayBox, Geometry, float], None]
+
+
+def fill_patch_single_level(
+    mf: MultiFab,
+    geom: Geometry,
+    bc_fill: Optional[BCFill] = None,
+    time: float = 0.0,
+) -> None:
+    """FillBoundary plus physical boundary conditions for one level."""
+    mf.fill_boundary(geom)
+    if bc_fill is not None:
+        for _, fab in mf:
+            bc_fill(fab, geom, time)
+
+
+def fill_patch_two_levels(
+    fine: MultiFab,
+    crse: MultiFab,
+    geom_fine: Geometry,
+    geom_crse: Geometry,
+    ratio: IntVectLike,
+    interp: Interpolator,
+    crse_coords: Optional[MultiFab] = None,
+    fine_coords: Optional[MultiFab] = None,
+    bc_fill: Optional[BCFill] = None,
+    time: float = 0.0,
+) -> None:
+    """Fill ``fine``'s ghost cells from fine neighbors and coarse data."""
+    r = IntVect.coerce(ratio, fine.dim)
+    fine.fill_boundary(geom_fine)
+
+    coords_tmp = None
+    if interp.needs_coords:
+        if crse_coords is None or fine_coords is None:
+            raise ValueError("curvilinear interpolation requires coordinate MultiFabs")
+        # The custom curvilinear interpolator's ParallelCopy: gather the
+        # coarse coordinates into a temporary MultiFab with enough extra
+        # ghost cells to cover every interpolation stencil.  This is global
+        # communication (any rank's coordinates may be needed anywhere).
+        extra = crse.ngrow + IntVect.filled(crse.dim, interp.radius + 1)
+        coords_tmp = MultiFab(crse.ba, crse.dm, crse_coords.ncomp, extra, crse.comm)
+        coords_tmp.parallel_copy(crse_coords, fill_ghosts=True)
+
+    fine_domain = geom_fine.domain
+    for i, fab in fine:
+        grown = fab.grown_box().intersect(fine_domain)
+        for piece in fine.ba.complement_in(grown):
+            _interp_piece(
+                fab, piece, crse, r, interp,
+                coords_tmp if coords_tmp is not None else None,
+                fine_coords.fab(i) if fine_coords is not None else None,
+                fine.comm, fine.dm[i],
+            )
+    if bc_fill is not None:
+        for _, fab in fine:
+            bc_fill(fab, geom_fine, time)
+
+
+def fill_coarse_patch(
+    fine: MultiFab,
+    crse: MultiFab,
+    geom_fine: Geometry,
+    ratio: IntVectLike,
+    interp: Interpolator,
+    crse_coords: Optional[MultiFab] = None,
+    fine_coords: Optional[MultiFab] = None,
+    bc_fill: Optional[BCFill] = None,
+    time: float = 0.0,
+) -> None:
+    """Fill every *valid* cell of ``fine`` by interpolation from ``crse``.
+
+    Used when regrid creates patches in previously-uncovered regions.
+    """
+    r = IntVect.coerce(ratio, fine.dim)
+    coords_tmp = None
+    if interp.needs_coords:
+        if crse_coords is None or fine_coords is None:
+            raise ValueError("curvilinear interpolation requires coordinate MultiFabs")
+        extra = crse.ngrow + IntVect.filled(crse.dim, interp.radius + 1)
+        coords_tmp = MultiFab(crse.ba, crse.dm, crse_coords.ncomp, extra, crse.comm)
+        coords_tmp.parallel_copy(crse_coords, fill_ghosts=True)
+    for i, fab in fine:
+        _interp_piece(
+            fab, fab.box, crse, r, interp, coords_tmp,
+            fine_coords.fab(i) if fine_coords is not None else None,
+            fine.comm, fine.dm[i],
+        )
+    if bc_fill is not None:
+        for _, fab in fine:
+            bc_fill(fab, geom_fine, time)
+
+
+def _interp_piece(
+    fab: FArrayBox,
+    piece: Box,
+    crse: MultiFab,
+    ratio: IntVect,
+    interp: Interpolator,
+    coords_tmp: Optional[MultiFab],
+    fine_coords_fab: Optional[FArrayBox],
+    comm,
+    dst_rank: int,
+) -> None:
+    """Interpolate coarse data onto one fine region and store it in ``fab``."""
+    cregion = interp.coarse_region(piece, ratio)
+    ctmp = _gather_coarse(crse, cregion, comm, dst_rank)
+    ccoords = None
+    if coords_tmp is not None:
+        # stencil coordinates: one extra cell so edge weights are defined
+        ccoords = _gather_coarse(coords_tmp, cregion.grow(1), comm, dst_rank,
+                                 use_ghosts=True)
+    vals = interp.interp(ctmp, piece, ratio, ccoords, fine_coords_fab)
+    nc = min(fab.ncomp, vals.shape[0])
+    fab.view(piece, slice(0, nc))[...] = vals[:nc]
+
+
+def _gather_coarse(src: MultiFab, region: Box, comm, dst_rank: int,
+                   use_ghosts: bool = False) -> FArrayBox:
+    """Collect ``region`` of coarse data into a single temporary fab.
+
+    Cells not covered by any source box — stencil cells beyond the
+    physical boundary, or (when proper nesting is marginal) beyond the
+    coarse level's coverage — are filled by nearest-covered extension so
+    interpolation stencils stay defined; the physical boundary fill
+    afterwards overrides anything that matters.
+    """
+    tmp = FArrayBox(region, src.ncomp)
+    tmp.data.fill(np.nan)
+    found = False
+    for j, sfab in src:
+        avail = sfab.grown_box() if use_ghosts else sfab.box
+        overlap = avail.intersect(region)
+        if overlap.is_empty():
+            continue
+        nbytes = tmp.copy_from(sfab, overlap)
+        comm.send_bytes(src.dm[j], dst_rank, nbytes, "parallelcopy")
+        found = True
+    if not found:
+        raise ValueError(f"no coarse data available for region {region}")
+    _nearest_fill(tmp.data)
+    return tmp
+
+
+def _nearest_fill(data: np.ndarray) -> None:
+    """Replace NaNs by sweeping each axis with forward/backward fill.
+
+    After the sweeps every cell holds the value of a nearby covered cell
+    (exact nearest along the first axis that reaches one).
+    """
+    if not np.isnan(data).any():
+        return
+    for axis in range(1, data.ndim):
+        n = data.shape[axis]
+        # forward fill
+        for k in range(1, n):
+            dst = [slice(None)] * data.ndim
+            src = [slice(None)] * data.ndim
+            dst[axis] = slice(k, k + 1)
+            src[axis] = slice(k - 1, k)
+            d = data[tuple(dst)]
+            mask = np.isnan(d)
+            if mask.any():
+                np.copyto(d, data[tuple(src)], where=mask)
+        # backward fill
+        for k in range(n - 2, -1, -1):
+            dst = [slice(None)] * data.ndim
+            src = [slice(None)] * data.ndim
+            dst[axis] = slice(k, k + 1)
+            src[axis] = slice(k + 1, k + 2)
+            d = data[tuple(dst)]
+            mask = np.isnan(d)
+            if mask.any():
+                np.copyto(d, data[tuple(src)], where=mask)
+        if not np.isnan(data).any():
+            return
+    if np.isnan(data).any():
+        raise ValueError("coarse gather region entirely uncovered")

@@ -1,0 +1,98 @@
+"""Problem-domain geometry: index domain, physical extent, periodicity.
+
+Mirrors ``amrex::Geometry``.  For curvilinear runs the physical coordinates
+live in a coordinates MultiFab (see ``repro.numerics.metrics``); this class
+always describes the rectangular *computational* domain that the physical
+domain is mapped onto.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.amr.box import Box
+from repro.amr.intvect import IntVect, IntVectLike
+
+
+class Geometry:
+    """Computational-domain geometry at a single refinement level."""
+
+    def __init__(
+        self,
+        domain: Box,
+        prob_lo: Sequence[float],
+        prob_hi: Sequence[float],
+        periodic: Sequence[bool] | None = None,
+    ) -> None:
+        self.domain = domain
+        self.prob_lo = tuple(float(x) for x in prob_lo)
+        self.prob_hi = tuple(float(x) for x in prob_hi)
+        if len(self.prob_lo) != domain.dim or len(self.prob_hi) != domain.dim:
+            raise ValueError("prob_lo/prob_hi dimension mismatch with domain")
+        if any(h <= l for l, h in zip(self.prob_lo, self.prob_hi)):
+            raise ValueError("prob_hi must exceed prob_lo in every direction")
+        self.periodic = tuple(bool(p) for p in (periodic or [False] * domain.dim))
+        if len(self.periodic) != domain.dim:
+            raise ValueError("periodic flags dimension mismatch")
+
+    @property
+    def dim(self) -> int:
+        return self.domain.dim
+
+    def cell_size(self) -> Tuple[float, ...]:
+        """Uniform computational cell size in each direction."""
+        n = self.domain.size()
+        return tuple(
+            (h - l) / s for l, h, s in zip(self.prob_lo, self.prob_hi, n)
+        )
+
+    def cell_centers(self, idim: int) -> np.ndarray:
+        """Physical (computational-space) cell-center coordinates along one axis."""
+        dx = self.cell_size()[idim]
+        n = self.domain.size()[idim]
+        return self.prob_lo[idim] + (np.arange(n) + 0.5) * dx
+
+    def refine(self, ratio: IntVectLike) -> "Geometry":
+        """Geometry of the next finer level (same physical extent)."""
+        return Geometry(
+            self.domain.refine(ratio), self.prob_lo, self.prob_hi, self.periodic
+        )
+
+    def coarsen(self, ratio: IntVectLike) -> "Geometry":
+        """Geometry of the next coarser level (same physical extent)."""
+        r = IntVect.coerce(ratio, self.dim)
+        for d in range(self.dim):
+            if self.domain.size()[d] % r[d] != 0:
+                raise ValueError("domain not divisible by coarsening ratio")
+        return Geometry(
+            self.domain.coarsen(r), self.prob_lo, self.prob_hi, self.periodic
+        )
+
+    def periodic_shifts(self, box: Box) -> list:
+        """Integer shifts mapping ``box`` into the domain across periodic faces.
+
+        Returns a list of IntVect offsets (excluding the zero shift) such that
+        ``box.shift(offset)`` may overlap the domain interior.  Used by
+        FillBoundary to find periodic neighbor patches.
+        """
+        shifts = [IntVect.zero(self.dim)]
+        n = self.domain.size()
+        for d in range(self.dim):
+            if not self.periodic[d]:
+                continue
+            new = []
+            for s in shifts:
+                for k in (-1, 1):
+                    off = list(s)
+                    off[d] += k * n[d]
+                    new.append(IntVect(*off))
+            shifts.extend(new)
+        return [s for s in shifts if s != IntVect.zero(self.dim)]
+
+    def __repr__(self) -> str:
+        return (
+            f"Geometry(domain={self.domain}, prob_lo={self.prob_lo}, "
+            f"prob_hi={self.prob_hi}, periodic={self.periodic})"
+        )

@@ -1,0 +1,42 @@
+"""ParallelCopy: global redistribution between different box layouts.
+
+``amrex::FabArray::ParallelCopy`` copies overlapping data between two
+MultiFabs whose BoxArrays and DistributionMappings may differ entirely.
+Unlike FillBoundary's neighbor-only traffic this is *global* communication
+— in the paper it is the scaling bottleneck of the custom curvilinear
+interpolator (CRoCCo 2.0 vs 2.1), because the coordinates MultiFab must be
+copied into a temporary with more ghost cells at every FillPatch.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.amr.multifab import MultiFab
+
+
+def parallel_copy(
+    dst: MultiFab,
+    src: MultiFab,
+    src_comp: int = 0,
+    dst_comp: int = 0,
+    ncomp: Optional[int] = None,
+    fill_ghosts: bool = False,
+) -> None:
+    """Copy every overlap of ``src``'s valid regions into ``dst``.
+
+    With ``fill_ghosts`` the destination region includes ghost cells
+    (AMReX's ``ParallelCopy`` with ``ng_dst``), which is how the curvilinear
+    interpolator obtains coordinates beyond patch edges.
+    """
+    if dst.dim != src.dim:
+        raise ValueError("ParallelCopy dimension mismatch")
+    nc = ncomp if ncomp is not None else min(dst.ncomp - dst_comp,
+                                             src.ncomp - src_comp)
+    if nc <= 0 or src_comp + nc > src.ncomp or dst_comp + nc > dst.ncomp:
+        raise ValueError("component range out of bounds in ParallelCopy")
+    for i, dfab in dst:
+        region = dfab.grown_box() if fill_ghosts else dfab.box
+        for j, overlap in src.ba.intersections(region):
+            nbytes = dfab.copy_from(src.fab(j), overlap, src_comp, dst_comp, nc)
+            dst.comm.send_bytes(src.dm[j], dst.dm[i], nbytes, "parallelcopy")

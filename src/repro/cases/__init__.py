@@ -1,0 +1,36 @@
+"""Flow cases: problem definitions the CRoCCo driver runs.
+
+- :mod:`repro.cases.base` — the Case interface (domain, mapping, initial
+  condition, boundary conditions, tagging).
+- :mod:`repro.cases.dmr` — the double Mach reflection of Woodward &
+  Colella, the paper's test problem (Sec. V-B), in both the classic
+  Cartesian formulation and a curvilinear ramp-fitted formulation.
+- :mod:`repro.cases.shocktube` — the Sod shock tube (validation against
+  the exact Riemann solution).
+- :mod:`repro.cases.vortex` — isentropic vortex advection (smooth
+  convergence testing).
+- :mod:`repro.cases.ramp` — supersonic compression ramp on a body-fitted
+  curvilinear grid, validated against exact oblique-shock theory
+  (:mod:`repro.cases.oblique`) — the geometry class the paper's
+  curvilinear capability exists for.
+- :mod:`repro.cases.reacting` — two-species Arrhenius ignition (the w_s
+  source of Eq. 1).
+- :mod:`repro.cases.grids` — curvilinear mapping builders (uniform,
+  stretched, ramp).
+"""
+
+from repro.cases.base import Case
+from repro.cases.dmr import DoubleMachReflection
+from repro.cases.ramp import CompressionRamp
+from repro.cases.reacting import IgnitionFront
+from repro.cases.shocktube import SodShockTube
+from repro.cases.vortex import IsentropicVortex
+
+__all__ = [
+    "Case",
+    "DoubleMachReflection",
+    "CompressionRamp",
+    "IgnitionFront",
+    "SodShockTube",
+    "IsentropicVortex",
+]

@@ -1,0 +1,148 @@
+"""The Case interface: everything problem-specific the driver needs."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.amr.box import Box
+from repro.amr.fab import FArrayBox
+from repro.amr.geometry import Geometry
+from repro.numerics.state import StateLayout
+from repro.numerics.viscous import ViscousFlux
+
+
+class Case:
+    """Base class for flow problems.
+
+    Subclasses define the computational domain, the (possibly curvilinear)
+    grid mapping, the initial condition, physical boundary conditions, and
+    the refinement tagging threshold.
+    """
+
+    #: problem name for reports
+    name: str = "case"
+    #: coarse-level cells per direction
+    domain_cells: Tuple[int, ...] = (64, 64)
+    #: physical domain lengths (the default mapping scales the unit box)
+    prob_extent: Tuple[float, ...] = (1.0, 1.0)
+    #: periodicity per direction
+    periodic: Tuple[bool, ...] = (False, False)
+    #: whether the grid mapping is non-Cartesian
+    curvilinear: bool = False
+    #: refinement tagging threshold on the density gradient
+    tag_threshold: float = 0.1
+    #: CFL number (the paper: RK3 stable for CFL <= 1)
+    cfl: float = 0.5
+
+    def __init__(self) -> None:
+        self.layout = StateLayout(nspecies=1, dim=len(self.domain_cells))
+        self.eos = self.make_eos()
+        self.viscous = self.make_viscous()
+
+    # -- physics hooks ----------------------------------------------------
+    def make_eos(self):
+        from repro.numerics.eos import IdealGasEOS
+
+        return IdealGasEOS(gamma=1.4)
+
+    def make_viscous(self) -> Optional[ViscousFlux]:
+        """Return a ViscousFlux or None for inviscid problems."""
+        return None
+
+    @property
+    def dim(self) -> int:
+        return len(self.domain_cells)
+
+    # -- geometry -----------------------------------------------------------
+    def geometry0(self) -> Geometry:
+        """Level-0 computational-domain geometry (unit computational box)."""
+        n = self.domain_cells
+        return Geometry(
+            Box.from_extent([0] * self.dim, list(n)),
+            [0.0] * self.dim,
+            [1.0] * self.dim,
+            self.periodic,
+        )
+
+    def mapping(self, s: np.ndarray) -> np.ndarray:
+        """Physical coordinates from unit computational coordinates.
+
+        ``s`` has shape (dim, ...) with components nominally in [0, 1]
+        (ghost cells fall slightly outside; the mapping must extend
+        smoothly).  The default scales the unit box to ``prob_extent``
+        (uniform Cartesian).
+        """
+        ext = np.asarray(self.prob_extent, dtype=np.float64)
+        return s * ext.reshape((-1,) + (1,) * (s.ndim - 1))
+
+    def cartesian_dx(self, geom: Geometry) -> Tuple[float, ...]:
+        """Physical cell sizes at a level (Cartesian cases only)."""
+        n = geom.domain.size()
+        return tuple(self.prob_extent[d] / n[d] for d in range(self.dim))
+
+    def coordinates(self, geom: Geometry, region: Box) -> np.ndarray:
+        """Cell-center physical coordinates over ``region`` at this level."""
+        n = geom.domain.size()
+        grids = np.meshgrid(
+            *[
+                (np.arange(region.lo[d], region.hi[d] + 1) + 0.5) / n[d]
+                for d in range(self.dim)
+            ],
+            indexing="ij",
+        )
+        return self.mapping(np.stack(grids))
+
+    # -- state hooks -------------------------------------------------------
+    def initial_condition(self, coords: np.ndarray, time: float = 0.0) -> np.ndarray:
+        """Conservative state from physical coordinates, shape (ncons, ...)."""
+        raise NotImplementedError
+
+    def bc_fill(self, fab: FArrayBox, geom: Geometry, time: float,
+                coords: Optional[FArrayBox] = None) -> None:
+        """Apply physical boundary conditions in outside-domain ghost cells.
+
+        The default does nothing (fully periodic problems).
+        """
+
+    def exact_solution(self, coords: np.ndarray, time: float) -> Optional[np.ndarray]:
+        """Exact solution for validation, if available."""
+        return None
+
+    def source(self, u: np.ndarray, coords: np.ndarray, time: float,
+               metrics=None) -> Optional[np.ndarray]:
+        """Conservative source terms (chemistry w_s of Eq. 1, SGS budgets).
+
+        Called on each patch's valid region every RK stage with that
+        patch's (interior-cropped) metrics; return None (the default) for
+        source-free problems.
+        """
+        return None
+
+    # -- helpers for implementing bc_fill ------------------------------------
+    @staticmethod
+    def outside_domain_slices(fab: FArrayBox, geom: Geometry, idim: int,
+                              side: str):
+        """Array slices selecting ghost layers beyond the domain on one face.
+
+        Returns None when the fab does not touch that face.  The returned
+        tuple indexes ``fab.data`` (component axis first).
+        """
+        gb = fab.grown_box()
+        if side == "lo":
+            gap = geom.domain.lo[idim] - gb.lo[idim]
+            if gap <= 0:
+                return None
+            sl = slice(0, gap)
+        elif side == "hi":
+            gap = gb.hi[idim] - geom.domain.hi[idim]
+            if gap <= 0:
+                return None
+            n = gb.shape()[idim]
+            sl = slice(n - gap, n)
+        else:
+            raise ValueError("side must be 'lo' or 'hi'")
+        out = [slice(None)] * (fab.dim + 1)
+        out[idim + 1] = sl
+        return tuple(out)

@@ -1,0 +1,96 @@
+"""Curvilinear grid mappings.
+
+Curvilinear grids are generated from combinations of hyperbolic and
+trigonometric functions (the reason CRoCCo stores coordinates rather than
+recomputing them, Sec. III-C).  This module provides the mapping builders
+used by the cases and examples:
+
+- :func:`stretched_mapping` — smooth sinusoidal stretching that keeps the
+  domain boundaries fixed (exercises the full curvilinear machinery on a
+  logically rectangular physical domain, as the paper does for the DMR);
+- :func:`tanh_cluster_mapping` — hyperbolic-tangent wall clustering, the
+  classic boundary-layer grid;
+- :func:`compression_ramp_mapping` — a smoothed compression-corner
+  geometry, the canonical curvilinear hypersonic configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+MappingFn = Callable[[np.ndarray], np.ndarray]
+
+
+def stretched_mapping(extent: Sequence[float], amplitude: float = 0.15,
+                      periods: int = 1) -> MappingFn:
+    """Sinusoidally stretched coordinates with fixed endpoints.
+
+    x_d = L_d * (s_d + amplitude * sin(2 pi periods s_d) / (2 pi periods));
+    monotone for |amplitude| < 1.
+    """
+    if not 0 <= abs(amplitude) < 1:
+        raise ValueError("amplitude magnitude must be < 1 for monotonicity")
+    ext = np.asarray(extent, dtype=np.float64)
+    w = 2 * np.pi * periods
+
+    def mapping(s: np.ndarray) -> np.ndarray:
+        shape = (-1,) + (1,) * (s.ndim - 1)
+        return ext.reshape(shape) * (s + amplitude * np.sin(w * s) / w)
+
+    return mapping
+
+
+def tanh_cluster_mapping(extent: Sequence[float], beta: float = 2.0,
+                         axis: int = 1) -> MappingFn:
+    """Cluster grid lines toward the low side of one axis (wall grids).
+
+    x = L * tanh(beta s) / tanh(beta) along ``axis``; other axes uniform.
+    Larger beta clusters harder toward s = 0... (inverted so the fine
+    spacing is at the wall end s = 0).
+    """
+    if beta <= 0:
+        raise ValueError("beta must be positive")
+    ext = np.asarray(extent, dtype=np.float64)
+
+    def mapping(s: np.ndarray) -> np.ndarray:
+        out = s.copy()
+        # cluster toward s=0: x/L = 1 - tanh(beta (1-s))/tanh(beta)
+        out[axis] = 1.0 - np.tanh(beta * (1.0 - s[axis])) / np.tanh(beta)
+        shape = (-1,) + (1,) * (s.ndim - 1)
+        return out * ext.reshape(shape)
+
+    return mapping
+
+
+def compression_ramp_mapping(extent: Sequence[float], angle_deg: float = 30.0,
+                             corner: float = 0.5, smoothing: float = 0.05) -> MappingFn:
+    """A smoothed 2D compression-corner (ramp) grid.
+
+    The bottom boundary follows y_w(x) = 0 for x < corner and
+    (x - corner) tan(angle) beyond, blended smoothly over ``smoothing``;
+    grid lines shear linearly from the wall to the flat top boundary.
+    Only the first two axes are deformed; any third axis stays uniform.
+    """
+    ext = np.asarray(extent, dtype=np.float64)
+    tan_a = np.tan(np.radians(angle_deg))
+
+    def wall(x: np.ndarray) -> np.ndarray:
+        if smoothing <= 0:
+            return np.where(x > corner * ext[0], (x - corner * ext[0]) * tan_a, 0.0)
+        # softplus-style smooth corner
+        t = (x - corner * ext[0]) / (smoothing * ext[0])
+        return smoothing * ext[0] * tan_a * np.logaddexp(0.0, t)
+
+    def mapping(s: np.ndarray) -> np.ndarray:
+        out = np.empty_like(s)
+        x = s[0] * ext[0]
+        yw = wall(x)
+        out[0] = x
+        out[1] = yw + s[1] * (ext[1] - yw)  # shear between wall and flat top
+        for d in range(2, s.shape[0]):
+            out[d] = s[d] * ext[d]
+        return out
+
+    return mapping

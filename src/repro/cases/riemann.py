@@ -1,0 +1,162 @@
+"""Exact Riemann solver for the 1D Euler equations (ideal gas).
+
+Used to validate the WENO solver against the Sod shock tube and to
+construct exact pre/post-shock states for the double Mach reflection
+(a Mach-10 moving normal shock is a Rankine-Hugoniot jump).
+
+Follows Toro, *Riemann Solvers and Numerical Methods for Fluid Dynamics*,
+ch. 4: Newton iteration on the pressure function to find the star-region
+pressure, then similarity sampling at x/t.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PrimitiveState:
+    """1D primitive state (density, normal velocity, pressure)."""
+
+    rho: float
+    u: float
+    p: float
+
+    def sound_speed(self, gamma: float) -> float:
+        """a = sqrt(gamma p / rho)."""
+        return float(np.sqrt(gamma * self.p / self.rho))
+
+
+def _pressure_function(p: float, s: PrimitiveState, gamma: float) -> Tuple[float, float]:
+    """f_K(p) and its derivative (Toro eqs. 4.6-4.37)."""
+    a = s.sound_speed(gamma)
+    if p > s.p:  # shock
+        A = 2.0 / ((gamma + 1.0) * s.rho)
+        B = (gamma - 1.0) / (gamma + 1.0) * s.p
+        f = (p - s.p) * np.sqrt(A / (p + B))
+        df = np.sqrt(A / (p + B)) * (1.0 - 0.5 * (p - s.p) / (p + B))
+    else:  # rarefaction
+        f = (2.0 * a / (gamma - 1.0)) * ((p / s.p) ** ((gamma - 1.0) / (2 * gamma)) - 1.0)
+        df = (1.0 / (s.rho * a)) * (p / s.p) ** (-(gamma + 1.0) / (2 * gamma))
+    return float(f), float(df)
+
+
+def star_state(left: PrimitiveState, right: PrimitiveState,
+               gamma: float = 1.4, tol: float = 1e-12,
+               max_iter: int = 100) -> Tuple[float, float]:
+    """(p*, u*) of the star region between the nonlinear waves."""
+    du = right.u - left.u
+    # vacuum check
+    al, ar = left.sound_speed(gamma), right.sound_speed(gamma)
+    if 2.0 * (al + ar) / (gamma - 1.0) <= du:
+        raise ValueError("initial states generate vacuum")
+    # initial guess: two-rarefaction approximation
+    z = (gamma - 1.0) / (2.0 * gamma)
+    p = ((al + ar - 0.5 * (gamma - 1.0) * du) /
+         (al / left.p**z + ar / right.p**z)) ** (1.0 / z)
+    p = max(p, tol)
+    for _ in range(max_iter):
+        fl, dfl = _pressure_function(p, left, gamma)
+        fr, dfr = _pressure_function(p, right, gamma)
+        change = (fl + fr + du) / (dfl + dfr)
+        p_new = max(p - change, tol)
+        if abs(p_new - p) < tol * max(p, 1.0):
+            p = p_new
+            break
+        p = p_new
+    fl, _ = _pressure_function(p, left, gamma)
+    fr, _ = _pressure_function(p, right, gamma)
+    u = 0.5 * (left.u + right.u) + 0.5 * (fr - fl)
+    return float(p), float(u)
+
+
+def sample(left: PrimitiveState, right: PrimitiveState, xi: np.ndarray,
+           gamma: float = 1.4) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Solution (rho, u, p) at similarity coordinates xi = x/t."""
+    xi = np.asarray(xi, dtype=np.float64)
+    ps, us = star_state(left, right, gamma)
+    rho = np.empty_like(xi)
+    u = np.empty_like(xi)
+    p = np.empty_like(xi)
+
+    gm1, gp1 = gamma - 1.0, gamma + 1.0
+
+    def fill(mask, r, uu, pp):
+        rho[mask] = r
+        u[mask] = uu
+        p[mask] = pp
+
+    left_side = xi <= us
+    # -- left wave ---------------------------------------------------------
+    al = left.sound_speed(gamma)
+    if ps > left.p:  # left shock
+        sl = left.u - al * np.sqrt(gp1 / (2 * gamma) * ps / left.p + gm1 / (2 * gamma))
+        rsl = left.rho * ((ps / left.p + gm1 / gp1) / (gm1 / gp1 * ps / left.p + 1.0))
+        m = left_side & (xi < sl)
+        fill(m, left.rho, left.u, left.p)
+        m = left_side & (xi >= sl)
+        fill(m, rsl, us, ps)
+    else:  # left rarefaction
+        asl = al * (ps / left.p) ** (gm1 / (2 * gamma))
+        head, tail = left.u - al, us - asl
+        m = left_side & (xi < head)
+        fill(m, left.rho, left.u, left.p)
+        m = left_side & (xi >= head) & (xi <= tail)
+        if m.any():
+            uf = 2.0 / gp1 * (al + 0.5 * gm1 * left.u + xi[m])
+            cf = 2.0 / gp1 * (al + 0.5 * gm1 * (left.u - xi[m]))
+            rho[m] = left.rho * (cf / al) ** (2.0 / gm1)
+            u[m] = uf
+            p[m] = left.p * (cf / al) ** (2 * gamma / gm1)
+        m = left_side & (xi > tail)
+        rsl = left.rho * (ps / left.p) ** (1.0 / gamma)
+        fill(m, rsl, us, ps)
+    # -- right wave -------------------------------------------------------
+    ar = right.sound_speed(gamma)
+    right_side = ~left_side
+    if ps > right.p:  # right shock
+        sr = right.u + ar * np.sqrt(gp1 / (2 * gamma) * ps / right.p + gm1 / (2 * gamma))
+        rsr = right.rho * ((ps / right.p + gm1 / gp1) / (gm1 / gp1 * ps / right.p + 1.0))
+        m = right_side & (xi > sr)
+        fill(m, right.rho, right.u, right.p)
+        m = right_side & (xi <= sr)
+        fill(m, rsr, us, ps)
+    else:  # right rarefaction
+        asr = ar * (ps / right.p) ** (gm1 / (2 * gamma))
+        head, tail = right.u + ar, us + asr
+        m = right_side & (xi > head)
+        fill(m, right.rho, right.u, right.p)
+        m = right_side & (xi >= tail) & (xi <= head)
+        if m.any():
+            uf = 2.0 / gp1 * (-ar + 0.5 * gm1 * right.u + xi[m])
+            cf = 2.0 / gp1 * (ar - 0.5 * gm1 * (right.u - xi[m]))
+            rho[m] = right.rho * (cf / ar) ** (2.0 / gm1)
+            u[m] = uf
+            p[m] = right.p * (cf / ar) ** (2 * gamma / gm1)
+        m = right_side & (xi < tail)
+        rsr = right.rho * (ps / right.p) ** (1.0 / gamma)
+        fill(m, rsr, us, ps)
+    return rho, u, p
+
+
+def normal_shock_jump(mach: float, upstream: PrimitiveState,
+                      gamma: float = 1.4) -> PrimitiveState:
+    """Post-shock state behind a moving normal shock of Mach ``mach``.
+
+    ``upstream`` is the quiescent pre-shock state in the lab frame; the
+    shock moves into it at speed ``mach * a_upstream``.  Rankine-Hugoniot
+    in the shock frame, transformed back to the lab frame.
+    """
+    if mach <= 1.0:
+        raise ValueError("shock Mach number must exceed 1")
+    a1 = upstream.sound_speed(gamma)
+    ws = mach * a1 + upstream.u  # shock speed (lab frame)
+    m2 = mach * mach
+    rho2 = upstream.rho * (gamma + 1.0) * m2 / ((gamma - 1.0) * m2 + 2.0)
+    p2 = upstream.p * (2.0 * gamma * m2 - (gamma - 1.0)) / (gamma + 1.0)
+    # mass conservation in the shock frame gives the lab-frame velocity
+    u2 = ws - upstream.rho * (ws - upstream.u) / rho2
+    return PrimitiveState(rho=float(rho2), u=float(u2), p=float(p2))

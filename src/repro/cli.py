@@ -1,0 +1,129 @@
+"""Command-line driver: run CRoCCo from an AMReX-style input deck.
+
+Usage::
+
+    python -m repro inputs.deck [--steps N | --time T] [--plotfile DIR]
+
+Deck keys (beyond the ones :class:`repro.io.inputs.InputDeck` maps onto
+:class:`~repro.core.crocco.CroccoConfig`)::
+
+    crocco.case     = dmr | sod | vortex | ignition | ramp
+    crocco.curvilinear = true        # DMR only
+    amr.n_cell      = 128 32         # case resolution
+    run.steps       = 100            # or run.time = 0.05
+    run.plotfile    = plt_out        # optional output directory
+    run.checkpoint  = chk_out        # write a restartable snapshot at the end
+    run.restart     = chk_in         # resume from a snapshot
+    run.report_every = 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.cases.dmr import DoubleMachReflection
+from repro.cases.ramp import CompressionRamp
+from repro.cases.reacting import IgnitionFront
+from repro.cases.shocktube import SodShockTube
+from repro.cases.vortex import IsentropicVortex
+from repro.core.crocco import Crocco
+from repro.io.checkpoint import load_checkpoint, save_checkpoint
+from repro.io.inputs import InputDeck
+from repro.io.plotfile import write_plotfile
+
+
+def build_case(deck: InputDeck):
+    """Instantiate the deck's case."""
+    name = deck.get_str("crocco.case", "sod")
+    cells = deck.domain_cells()
+    if name == "sod":
+        return SodShockTube(ncells=cells[0] if cells else 128)
+    if name == "vortex":
+        return IsentropicVortex(ncells=cells[0] if cells else 64)
+    if name == "dmr":
+        nc = tuple(cells) if cells else (128, 32)
+        return DoubleMachReflection(
+            ncells=nc, curvilinear=bool(deck.get_bool("crocco.curvilinear", False))
+        )
+    if name == "ignition":
+        return IgnitionFront(ncells=cells[0] if cells else 128)
+    if name == "ramp":
+        nc = tuple(cells) if cells else (96, 48)
+        return CompressionRamp(
+            ncells=nc,
+            mach=deck.get_float("ramp.mach", 3.0),
+            angle_deg=deck.get_float("ramp.angle", 15.0),
+        )
+    raise SystemExit(f"unknown crocco.case {name!r} "
+                     "(options: sod, vortex, dmr, ignition, ramp)")
+
+
+def main(argv: Optional[list] = None) -> int:
+    """Parse arguments, run the deck, return a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Run CRoCCo from an input deck."
+    )
+    parser.add_argument("deck", help="input deck file (key = value lines)")
+    parser.add_argument("--steps", type=int, default=None,
+                        help="override run.steps")
+    parser.add_argument("--time", type=float, default=None,
+                        help="override run.time (simulated seconds)")
+    parser.add_argument("--plotfile", default=None,
+                        help="override run.plotfile output directory")
+    args = parser.parse_args(argv)
+
+    deck = InputDeck.from_file(args.deck)
+    case = build_case(deck)
+    config = deck.to_crocco_config()
+    sim = Crocco(case, config)
+    restart = deck.get_str("run.restart")
+    if restart:
+        load_checkpoint(restart, sim)
+        print(f"restarted from {restart} at step {sim.step_count}, "
+              f"t = {sim.time:.5f}")
+    else:
+        sim.initialize()
+    print(f"case {case.name}: {case.domain_cells} cells, "
+          f"CRoCCo {config.version}, {sim.finest_level + 1} level(s), "
+          f"{sim.comm.nranks} simulated rank(s)")
+
+    nsteps = args.steps if args.steps is not None else deck.get_int("run.steps")
+    t_end = args.time if args.time is not None else deck.get_float("run.time")
+    if nsteps is None and t_end is None:
+        nsteps = 10
+    report = deck.get_int("run.report_every", 10)
+
+    def progress() -> None:
+        """One status line: step, time, dt, density bounds."""
+        mn, mx = sim.min_max(0)
+        print(f"  step {sim.step_count:5d}  t = {sim.time:.5f}  "
+              f"dt = {sim.dt_history[-1]:.3e}  rho in [{mn:.3f}, {mx:.3f}]")
+
+    while True:
+        if nsteps is not None and sim.step_count >= nsteps:
+            break
+        if t_end is not None and sim.time >= t_end:
+            break
+        sim.step()
+        if report and sim.step_count % report == 0:
+            progress()
+    if not report or sim.step_count % report != 0:
+        progress()
+
+    out = args.plotfile or deck.get_str("run.plotfile")
+    if out:
+        path = write_plotfile(out, sim)
+        print(f"wrote plotfile {path}")
+    chk = deck.get_str("run.checkpoint")
+    if chk:
+        path = save_checkpoint(chk, sim)
+        print(f"wrote checkpoint {path}")
+    print(sim.profiler.report())
+    sim.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

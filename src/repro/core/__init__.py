@@ -1,0 +1,14 @@
+"""CRoCCo driver: the paper's Algorithm 1/2 over the AMR substrate."""
+
+from repro.core.versions import VersionConfig, VERSIONS
+from repro.core.crocco import Crocco, CroccoConfig
+from repro.core.validation import l2_difference, compare_states
+
+__all__ = [
+    "Crocco",
+    "CroccoConfig",
+    "VersionConfig",
+    "VERSIONS",
+    "l2_difference",
+    "compare_states",
+]

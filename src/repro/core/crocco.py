@@ -1,0 +1,413 @@
+"""The CRoCCo driver: Algorithms 1 and 2 of the paper.
+
+Main loop (Algorithm 1)::
+
+    InitGrid / InitGridMetrics / InitFlow
+    for n in steps:
+        if n % regridFreq == 0: Regrid()
+        ComputeDt()
+        RK3()
+
+RK3 advance (Algorithm 2)::
+
+    for RKstage in 1..3:
+        for lev in 0..nlevels:
+            FillPatch(); BC_Fill()
+            WENOx(); WENOy(); WENOz(); Viscous(); Update()
+        if RKstage == 3: AverageDown()
+
+All communication flows through the simulated MPI substrate and is
+recorded in the communicator ledger; all regions are timed under the
+TinyProfiler names used in the paper's profiles (Figs. 6-7).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.amr.amrcore import AmrConfig, AmrCore
+from repro.amr.average_down import average_down
+from repro.amr.boxarray import BoxArray
+from repro.amr.distribution import DistributionMapping
+from repro.amr.fillpatch import fill_patch_single_level, fill_patch_two_levels, fill_coarse_patch
+from repro.amr.interp_curvilinear import CurvilinearInterp
+from repro.amr.interp_weno import WenoInterp
+from repro.amr.interpolate import ConservativeLinearInterp, TrilinearInterp
+from repro.amr.multifab import MultiFab
+from repro.amr.tagging import tag_density_gradient, tag_momentum_gradient, tagged_cells
+from repro.cases.base import Case
+from repro.core.versions import VersionConfig, get_version
+from repro.kernels.api import make_backend
+from repro.mpi.comm import Communicator
+from repro.numerics.cfl import compute_dt
+from repro.numerics.fluxes import ConvectiveFlux
+from repro.numerics.metrics import CartesianMetrics, CurvilinearMetrics
+from repro.numerics.rk3 import NSTAGES
+from repro.numerics.weno import WenoScheme
+from repro.profiling.tinyprofiler import TinyProfiler
+
+INTERPOLATORS = {
+    "trilinear": TrilinearInterp,
+    "curvilinear": CurvilinearInterp,
+    "conservative": ConservativeLinearInterp,
+    "weno": WenoInterp,
+}
+
+
+@dataclass
+class CroccoConfig:
+    """Run configuration (the input deck)."""
+
+    version: str = "2.1"
+    max_level: int = 0
+    blocking_factor: int = 8
+    max_grid_size: int = 128
+    #: steps between regrids, or "auto" to derive it from the CFL condition
+    #: (Sec. II-B: regrid before features convect from a patch interior to
+    #: a fine/coarse interface)
+    regrid_int: "int | str" = 2
+    n_error_buf: int = 1
+    grid_eff: float = 0.7
+    cfl: Optional[float] = None
+    fixed_dt: Optional[float] = None
+    nranks: int = 1
+    ranks_per_node: int = 6
+    weno_variant: str = "symbo"
+    tagging: str = "density"  # "density" | "momentum"
+    #: "stored" keeps the whole grid in memory (getCoords()); "file" rereads
+    #: coordinates from a binary file at each new-patch creation — the
+    #: paper's first, slower implementation (Sec. III-C, Regridding).
+    coords_source: str = "stored"
+    interpolator: Optional[str] = None  # override the version default
+
+    def resolve_version(self) -> VersionConfig:
+        return get_version(self.version)
+
+
+class Crocco(AmrCore):
+    """A configured CRoCCo simulation on one Case."""
+
+    def __init__(self, case: Case, config: Optional[CroccoConfig] = None) -> None:
+        self.case = case
+        self.config = config if config is not None else CroccoConfig()
+        self.version = self.config.resolve_version()
+        if self.config.coords_source not in ("stored", "file"):
+            raise ValueError("coords_source must be 'stored' or 'file'")
+
+        max_level = self.config.max_level if self.version.amr else 0
+        self._auto_regrid = self.config.regrid_int == "auto"
+        regrid_int = 2 if self._auto_regrid else int(self.config.regrid_int)
+        amr_cfg = AmrConfig(
+            max_level=max_level,
+            blocking_factor=self.config.blocking_factor,
+            max_grid_size=self.config.max_grid_size,
+            grid_eff=self.config.grid_eff,
+            n_error_buf=self.config.n_error_buf,
+            regrid_int=regrid_int,
+        )
+        comm = Communicator(self.config.nranks, self.config.ranks_per_node)
+        super().__init__(case.geometry0(), amr_cfg, comm)
+
+        # one simulated GPU per rank (Summit: one V100 per MPI rank)
+        self.devices = None
+        if self.version.on_gpu:
+            from repro.kernels.device import GpuDevice
+
+            self.devices = [GpuDevice(name=f"V100-rank{r}")
+                            for r in range(comm.nranks)]
+        self.kernels = make_backend(
+            self.version.backend,
+            case.layout,
+            case.eos,
+            convective=ConvectiveFlux(scheme=WenoScheme(variant=self.config.weno_variant)),
+            viscous=case.viscous,
+            device=self.devices[0] if self.devices else None,
+        )
+        self.ng = self.kernels.nghost
+        interp_name = self.config.interpolator or self.version.interpolator
+        if interp_name not in INTERPOLATORS:
+            raise ValueError(f"unknown interpolator {interp_name!r}")
+        self.interp = INTERPOLATORS[interp_name]()
+        self.profiler = TinyProfiler()
+
+        self.state: Dict[int, MultiFab] = {}
+        self.du: Dict[int, MultiFab] = {}
+        self.coords: Dict[int, MultiFab] = {}
+        self.metrics: Dict[int, Dict[int, object]] = {}
+        self._residency: Dict[int, object] = {}
+        self._coords_file: Optional[str] = None
+
+        self.time = 0.0
+        self.step_count = 0
+        self.dt_history: List[float] = []
+
+    # -- initialization (InitGrid / InitGridMetrics / InitFlow) ---------------
+    def initialize(self) -> None:
+        """Build the initial hierarchy and flow field."""
+        with self.profiler.region("Init"):
+            if self.config.coords_source == "file":
+                self._write_coords_file()
+            self.init_from_scratch()
+
+    def _write_coords_file(self) -> None:
+        """Persist the full finest-level grid coordinates to a binary file.
+
+        The "file" coords source replays the paper's first regridding
+        implementation, where each newly created AMR patch serially read
+        its coordinates back from disk with std::iostream.
+        """
+        geom = self.geoms[self.config.max_level if self.version.amr else 0]
+        coords = self.case.coordinates(geom, geom.domain)
+        fd, path = tempfile.mkstemp(suffix=".coords.npy", prefix="crocco_")
+        os.close(fd)
+        np.save(path, coords)
+        self._coords_file = path
+
+    def close(self) -> None:
+        if self._coords_file and os.path.exists(self._coords_file):
+            os.unlink(self._coords_file)
+            self._coords_file = None
+
+    # -- AmrCore hooks -----------------------------------------------------
+    def make_new_level_from_scratch(self, lev, ba, dm) -> None:
+        self._build_level_storage(lev, ba, dm)
+        for i, fab in self.state[lev]:
+            c = self.coords[lev].fab(i).whole()
+            u0 = self.case.initial_condition(c, self.time)
+            fab.whole()[...] = u0
+
+    def make_new_level_from_coarse(self, lev, ba, dm) -> None:
+        self._build_level_storage(lev, ba, dm)
+        fill_coarse_patch(
+            self.state[lev], self.state[lev - 1], self.geoms[lev],
+            self.ref_ratio_iv(), self.interp,
+            crse_coords=self.coords[lev - 1] if self.interp.needs_coords else None,
+            fine_coords=self.coords[lev] if self.interp.needs_coords else None,
+        )
+        self._bc_fill(lev)
+
+    def remake_level(self, lev, ba, dm) -> None:
+        old_state = self.state[lev]
+        self._clear_level_storage(lev)
+        self._build_level_storage(lev, ba, dm)
+        # interpolate everywhere from coarse, then overwrite with surviving
+        # same-level data (the standard AMReX RemakeLevel recipe)
+        fill_coarse_patch(
+            self.state[lev], self.state[lev - 1], self.geoms[lev],
+            self.ref_ratio_iv(), self.interp,
+            crse_coords=self.coords[lev - 1] if self.interp.needs_coords else None,
+            fine_coords=self.coords[lev] if self.interp.needs_coords else None,
+        )
+        self.state[lev].parallel_copy(old_state)
+        self._bc_fill(lev)
+
+    def clear_level(self, lev) -> None:
+        self._clear_level_storage(lev)
+
+    def error_est(self, lev) -> np.ndarray:
+        mf = self.state[lev]
+        # two-level fill so coarse/fine-interface ghosts are valid before
+        # the gradient criterion reads them
+        self._fill_patch(lev)
+        self._bc_fill(lev)
+        lay = self.case.layout
+        if self.config.tagging == "momentum":
+            tags = tag_momentum_gradient(
+                mf, tuple(range(lay.mom(0), lay.mom(0) + lay.dim)),
+                self.case.tag_threshold,
+            )
+        else:
+            tags = tag_density_gradient(mf, 0, self.case.tag_threshold)
+        return tagged_cells(mf, tags)
+
+    # -- storage management --------------------------------------------------
+    def _build_level_storage(self, lev: int, ba: BoxArray,
+                             dm: DistributionMapping) -> None:
+        lay = self.case.layout
+        self.state[lev] = MultiFab(ba, dm, lay.ncons, self.ng, self.comm)
+        self.du[lev] = MultiFab(ba, dm, lay.ncons, 0, self.comm)
+        coords = MultiFab(ba, dm, lay.dim, self.ng, self.comm)
+        geom = self.geoms[lev]
+        for i, fab in coords:
+            fab.whole()[...] = self._get_coords(geom, fab.grown_box())
+        self.coords[lev] = coords
+        self.metrics[lev] = {}
+        for i, fab in coords:
+            if self.case.curvilinear:
+                self.metrics[lev][i] = CurvilinearMetrics.from_coordinates(fab.whole())
+            else:
+                self.metrics[lev][i] = CartesianMetrics(self.case.cartesian_dx(geom))
+        if self.devices is not None:
+            # register each rank's share of the level on its own GPU
+            handles = []
+            per_rank = [0] * self.comm.nranks
+            for i, fab in self.state[lev]:
+                r = self.state[lev].dm[i]
+                per_rank[r] += (fab.nbytes() + self.du[lev].fab(i).nbytes()
+                                + coords.fab(i).nbytes())
+            for r, nbytes in enumerate(per_rank):
+                if nbytes:
+                    handles.append(
+                        self.kernels.register_state(nbytes, self.devices[r])
+                    )
+            self._residency[lev] = handles
+
+    def _get_coords(self, geom, region) -> np.ndarray:
+        """getCoords(): from memory (analytic mapping) or from the file."""
+        if self.config.coords_source == "file" and self._coords_file:
+            with self.profiler.region("getCoords_fileIO"):
+                # the stored file covers the finest uniform grid; re-reading
+                # it per patch is exactly the overhead the paper removed
+                _ = np.load(self._coords_file, mmap_mode=None)
+                return self.case.coordinates(geom, region)
+        return self.case.coordinates(geom, region)
+
+    def _clear_level_storage(self, lev: int) -> None:
+        for store in (self.state, self.du, self.coords, self.metrics):
+            store.pop(lev, None)
+        for handle in self._residency.pop(lev, []) or []:
+            handle.free()
+
+    # -- boundary conditions ---------------------------------------------
+    def _bc_fill(self, lev: int) -> None:
+        with self.profiler.region("BC_Fill"):
+            geom = self.geoms[lev]
+            for i, fab in self.state[lev]:
+                self.case.bc_fill(fab, geom, self.time, self.coords[lev].fab(i))
+
+    def _fill_patch(self, lev: int) -> None:
+        with self.profiler.region("FillPatch"):
+            if lev == 0:
+                fill_patch_single_level(self.state[0], self.geoms[0])
+            else:
+                needs = self.interp.needs_coords
+                fill_patch_two_levels(
+                    self.state[lev], self.state[lev - 1],
+                    self.geoms[lev], self.geoms[lev - 1],
+                    self.ref_ratio_iv(), self.interp,
+                    crse_coords=self.coords[lev - 1] if needs else None,
+                    fine_coords=self.coords[lev] if needs else None,
+                )
+
+    # -- Algorithm 1: main loop -------------------------------------------
+    def run(self, nsteps: int) -> None:
+        if self.finest_level < 0:
+            self.initialize()
+        for _ in range(nsteps):
+            self.step()
+
+    def step(self) -> None:
+        cfg = self.config
+        if self.version.amr and self.config.max_level > 0:
+            if self.step_count % self.regrid_interval() == 0:
+                with self.profiler.region("Regrid"):
+                    self.regrid()
+        dt = self._compute_dt()
+        self._rk3(dt)
+        self.time += dt
+        self.step_count += 1
+        self.dt_history.append(dt)
+
+    def regrid_interval(self) -> int:
+        """Steps between regrids — fixed, or CFL-derived when "auto".
+
+        The auto rule (Sec. II-B): a feature travels at most CFL cells per
+        step, so regrid before it can cross from the smallest fine patch's
+        interior to its edge.
+        """
+        if not self._auto_regrid:
+            return int(self.config.regrid_int)
+        from repro.amr.amrcore import optimal_regrid_interval
+
+        lev = self.finest_level
+        if lev <= 0 or self.box_arrays[lev] is None:
+            return 1
+        min_side = min(min(b.size()) for b in self.box_arrays[lev])
+        cfl = self.config.cfl if self.config.cfl is not None else self.case.cfl
+        return optimal_regrid_interval(min_side, cfl,
+                                       self.amr_config.n_error_buf)
+
+    def _compute_dt(self) -> float:
+        with self.profiler.region("ComputeDt"):
+            if self.config.fixed_dt is not None:
+                return self.config.fixed_dt
+            rates = [0.0] * self.comm.nranks
+            for lev in range(self.finest_level + 1):
+                mf = self.state[lev]
+                for i, fab in mf:
+                    # valid region only: ghost cells can be stale right
+                    # after a regrid, before the stage's FillPatch
+                    r = self.kernels.max_rate(
+                        fab.valid(), self.metrics[lev][i].interior(self.ng),
+                        device=self._device_of(mf.dm[i]),
+                    )
+                    rank = mf.dm[i]
+                    rates[rank] = max(rates[rank], r)
+            cfl = self.config.cfl if self.config.cfl is not None else self.case.cfl
+            return compute_dt(rates, cfl, self.comm)
+
+    # -- Algorithm 2: RK3 advance ------------------------------------------
+    def _rk3(self, dt: float) -> None:
+        with self.profiler.region("Advance"):
+            for lev in range(self.finest_level + 1):
+                self.du[lev].set_val(0.0)
+            for stage in range(NSTAGES):
+                for lev in range(self.finest_level + 1):
+                    self._fill_patch(lev)
+                    self._bc_fill(lev)
+                    mf = self.state[lev]
+                    for i, fab in mf:
+                        dev = self._device_of(mf.dm[i])
+                        rhs = self.kernels.rhs(
+                            fab.whole(), self.metrics[lev][i], self.ng,
+                            device=dev,
+                        )
+                        src = self.case.source(
+                            fab.valid(), self.coords[lev].fab(i).valid(),
+                            self.time,
+                            metrics=self.metrics[lev][i].interior(self.ng),
+                        )
+                        if src is not None:
+                            rhs = rhs + src
+                        self.kernels.update(
+                            fab.valid(), self.du[lev].fab(i).valid(), rhs,
+                            dt, stage, device=dev,
+                        )
+                if stage == NSTAGES - 1:
+                    with self.profiler.region("AverageDown"):
+                        for lev in range(self.finest_level - 1, -1, -1):
+                            average_down(
+                                self.state[lev + 1], self.state[lev],
+                                self.ref_ratio_iv(),
+                            )
+
+    def _device_of(self, rank: int):
+        """The owning rank's simulated GPU (None on CPU backends)."""
+        return self.devices[rank] if self.devices is not None else None
+
+    def gpu_memory_report(self):
+        """Per-rank simulated device memory (bytes in use, high water)."""
+        if self.devices is None:
+            return None
+        return [(d.name, d.bytes_in_use, d.high_water) for d in self.devices]
+
+    # -- diagnostics -----------------------------------------------------
+    def total_mass(self) -> float:
+        """Integral of density over the level-0 grid (conservation check)."""
+        mf = self.state[0]
+        total = 0.0
+        for i, fab in mf:
+            J = np.broadcast_to(
+                self.metrics[0][i].jacobian(), fab.box.shape()
+            )
+            rho = fab.valid()[self.case.layout.rho_s].sum(axis=0)
+            total += float((rho * J).sum())
+        return total
+
+    def min_max(self, comp: int):
+        return self.state[0].min(comp), self.state[0].max(comp)

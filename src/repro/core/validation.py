@@ -1,0 +1,105 @@
+"""Correctness validation: L2-norm comparisons between code versions.
+
+The paper validates the Fortran -> C++ translation and the GPU port by
+comparing the L2-norm of the difference in each flow variable of interest
+(velocity, density, temperature); the value plateaued at ~1e-7, within
+machine-precision accumulation for the operation count involved
+(Sec. IV-A, IV-C).  This module reproduces that validation procedure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+
+def l2_difference(a: np.ndarray, b: np.ndarray) -> float:
+    """Root-mean-square difference (the paper's L2-norm criterion)."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch {a.shape} vs {b.shape}")
+    return float(np.sqrt(np.mean((a - b) ** 2)))
+
+
+def flow_variables(crocco, lev: int = 0) -> Dict[str, np.ndarray]:
+    """Assemble per-variable arrays (rho, u_i, T) over one level's patches.
+
+    Patches are concatenated in box order; both runs must share the level's
+    BoxArray for a comparison to be meaningful.
+    """
+    lay = crocco.case.layout
+    eos = crocco.case.eos
+    rho_parts, vel_parts, T_parts = [], [], []
+    for i, fab in crocco.state[lev]:
+        u = fab.valid()
+        rho_parts.append(lay.density(u).ravel())
+        vel_parts.append(lay.velocity(u).reshape(lay.dim, -1))
+        T_parts.append(eos.temperature(lay, u).ravel())
+    out = {
+        "rho": np.concatenate(rho_parts),
+        "T": np.concatenate(T_parts),
+    }
+    vel = np.concatenate(vel_parts, axis=1)
+    for d in range(lay.dim):
+        out[f"u{d}"] = vel[d]
+    return out
+
+
+def compare_states(run_a, run_b, lev: int = 0) -> Dict[str, float]:
+    """Per-flow-variable L2 differences between two runs (same case/grid)."""
+    va = flow_variables(run_a, lev)
+    vb = flow_variables(run_b, lev)
+    if set(va) != set(vb):
+        raise ValueError("runs expose different flow variables")
+    return {k: l2_difference(va[k], vb[k]) for k in sorted(va)}
+
+
+def error_norms(crocco, case=None, lev: int = 0) -> Dict[str, Dict[str, float]]:
+    """L1/L2/Linf density/velocity/temperature errors vs the exact solution.
+
+    Requires the case to implement ``exact_solution``.  Errors are computed
+    over every patch of one level at the run's current time.
+    """
+    c = case if case is not None else crocco.case
+    lay = c.layout
+    eos = c.eos
+    acc: Dict[str, list] = {}
+    for i, fab in crocco.state[lev]:
+        coords = crocco.coords[lev].fab(i).valid()
+        exact = c.exact_solution(coords, crocco.time)
+        if exact is None:
+            raise ValueError(f"case {c.name!r} provides no exact solution")
+        u = fab.valid()
+        pairs = {
+            "rho": (lay.density(u), lay.density(exact)),
+            "T": (eos.temperature(lay, u), eos.temperature(lay, exact)),
+        }
+        vel_n = lay.velocity(u)
+        vel_e = lay.velocity(exact)
+        for d in range(lay.dim):
+            pairs[f"u{d}"] = (vel_n[d], vel_e[d])
+        for name, (num, ex) in pairs.items():
+            acc.setdefault(name, []).append((num - ex).ravel())
+    out: Dict[str, Dict[str, float]] = {}
+    for name, parts in acc.items():
+        e = np.concatenate(parts)
+        out[name] = {
+            "L1": float(np.mean(np.abs(e))),
+            "L2": float(np.sqrt(np.mean(e**2))),
+            "Linf": float(np.abs(e).max()),
+        }
+    return out
+
+
+def observed_order(errors: "list[float]", refinement: float = 2.0) -> "list[float]":
+    """Observed convergence orders log_r(e_k / e_{k+1}) between levels."""
+    if len(errors) < 2:
+        raise ValueError("need at least two resolutions")
+    out = []
+    for a, b in zip(errors, errors[1:]):
+        if a <= 0 or b <= 0:
+            raise ValueError("errors must be positive")
+        out.append(float(np.log(a / b) / np.log(refinement)))
+    return out

@@ -1,0 +1,55 @@
+"""The CRoCCo version matrix (Sec. V-C of the paper).
+
+=======  ========  ====  ===========  ==========================
+Version  Kernels   AMR   Where        Interpolator
+=======  ========  ====  ===========  ==========================
+1.0      Fortran   off   CPU          --
+1.1      C++       off   CPU          --
+1.2      C++       on    CPU          custom curvilinear
+2.0      C++       on    GPU          custom curvilinear
+2.1      C++       on    GPU          AMReX trilinear (built-in)
+=======  ========  ====  ===========  ==========================
+
+2.1 is the ParallelCopy ablation: swapping the custom curvilinear
+interpolator for the built-in trilinear one removes the global
+communication inside FillPatch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class VersionConfig:
+    """Capability switches of one CRoCCo version."""
+
+    name: str
+    backend: str  # kernel backend: fortran | cpp | gpu
+    amr: bool
+    interpolator: str  # "curvilinear" | "trilinear" | "conservative" | "weno"
+
+    @property
+    def on_gpu(self) -> bool:
+        return self.backend == "gpu"
+
+    @property
+    def uses_global_parallelcopy(self) -> bool:
+        """The custom curvilinear interpolator gathers coordinates globally."""
+        return self.amr and self.interpolator == "curvilinear"
+
+
+VERSIONS: Dict[str, VersionConfig] = {
+    "1.0": VersionConfig("1.0", backend="fortran", amr=False, interpolator="curvilinear"),
+    "1.1": VersionConfig("1.1", backend="cpp", amr=False, interpolator="curvilinear"),
+    "1.2": VersionConfig("1.2", backend="cpp", amr=True, interpolator="curvilinear"),
+    "2.0": VersionConfig("2.0", backend="gpu", amr=True, interpolator="curvilinear"),
+    "2.1": VersionConfig("2.1", backend="gpu", amr=True, interpolator="trilinear"),
+}
+
+
+def get_version(name: str) -> VersionConfig:
+    if name not in VERSIONS:
+        raise KeyError(f"unknown CRoCCo version {name!r}; options {sorted(VERSIONS)}")
+    return VERSIONS[name]

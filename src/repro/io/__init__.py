@@ -1,0 +1,13 @@
+"""I/O: AMReX-style input decks, plotfiles, and checkpoint/restart."""
+
+from repro.io.inputs import InputDeck
+from repro.io.plotfile import write_plotfile, read_plotfile_header
+from repro.io.checkpoint import save_checkpoint, load_checkpoint
+
+__all__ = [
+    "InputDeck",
+    "write_plotfile",
+    "read_plotfile_header",
+    "save_checkpoint",
+    "load_checkpoint",
+]

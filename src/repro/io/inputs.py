@@ -1,0 +1,106 @@
+"""AMReX-style input deck parsing.
+
+AMReX applications are configured by plain-text decks of
+``prefix.key = value`` lines (the paper tunes ``amr.blocking_factor``,
+``amr.max_grid_size``, the domain cell counts, etc. this way).  This
+module parses that format and maps it onto :class:`CroccoConfig`.
+"""
+
+from __future__ import annotations
+
+import shlex
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.core.crocco import CroccoConfig
+
+
+class InputDeck:
+    """A parsed ``key = value`` deck with typed accessors."""
+
+    def __init__(self, entries: Dict[str, List[str]]) -> None:
+        self._entries = dict(entries)
+
+    @classmethod
+    def parse(cls, text: str) -> "InputDeck":
+        entries: Dict[str, List[str]] = {}
+        for lineno, raw in enumerate(text.splitlines(), 1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            if "=" not in line:
+                raise ValueError(f"line {lineno}: expected 'key = value', got {raw!r}")
+            key, _, value = line.partition("=")
+            key = key.strip()
+            tokens = shlex.split(value.strip())
+            if not key or not tokens:
+                raise ValueError(f"line {lineno}: empty key or value in {raw!r}")
+            entries[key] = tokens
+        return cls(entries)
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "InputDeck":
+        return cls.parse(Path(path).read_text())
+
+    # -- accessors ---------------------------------------------------------
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def keys(self):
+        return self._entries.keys()
+
+    def get_str(self, key: str, default: Optional[str] = None) -> Optional[str]:
+        if key not in self._entries:
+            return default
+        return self._entries[key][0]
+
+    def get_int(self, key: str, default: Optional[int] = None) -> Optional[int]:
+        if key not in self._entries:
+            return default
+        return int(self._entries[key][0])
+
+    def get_float(self, key: str, default: Optional[float] = None) -> Optional[float]:
+        if key not in self._entries:
+            return default
+        return float(self._entries[key][0])
+
+    def get_bool(self, key: str, default: Optional[bool] = None) -> Optional[bool]:
+        if key not in self._entries:
+            return default
+        tok = self._entries[key][0].lower()
+        if tok in ("1", "true", "t", "yes"):
+            return True
+        if tok in ("0", "false", "f", "no"):
+            return False
+        raise ValueError(f"{key}: cannot interpret {tok!r} as a boolean")
+
+    def get_ints(self, key: str, default=None) -> Optional[List[int]]:
+        if key not in self._entries:
+            return default
+        return [int(t) for t in self._entries[key]]
+
+    # -- CroccoConfig mapping ----------------------------------------------
+    def to_crocco_config(self) -> CroccoConfig:
+        """Build a CroccoConfig from the recognized deck keys."""
+        cfg = CroccoConfig(
+            version=self.get_str("crocco.version", "2.1"),
+            max_level=self.get_int("amr.max_level", 0),
+            blocking_factor=self.get_int("amr.blocking_factor", 8),
+            max_grid_size=self.get_int("amr.max_grid_size", 128),
+            regrid_int=self.get_int("amr.regrid_int", 2),
+            n_error_buf=self.get_int("amr.n_error_buf", 1),
+            grid_eff=self.get_float("amr.grid_eff", 0.7),
+            cfl=self.get_float("crocco.cfl", None),
+            fixed_dt=self.get_float("crocco.fixed_dt", None),
+            nranks=self.get_int("mpi.nranks", 1),
+            ranks_per_node=self.get_int("mpi.ranks_per_node", 6),
+            weno_variant=self.get_str("crocco.weno", "symbo"),
+            tagging=self.get_str("amr.tagging", "density"),
+            coords_source=self.get_str("crocco.coords_source", "stored"),
+            interpolator=self.get_str("crocco.interpolator", None),
+        )
+        return cfg
+
+    def domain_cells(self) -> Optional[List[int]]:
+        """The ``amr.n_cell`` entry (coarse cells per direction)."""
+        return self.get_ints("amr.n_cell")

@@ -1,0 +1,24 @@
+"""The CRoCCo numerics kernels in their three "ported" forms.
+
+The paper's port proceeds Fortran -> C++ -> GPU (Sec. IV).  We reproduce
+the *software structure* of that port:
+
+- every kernel (WENOx, WENOy, WENOz, Viscous, Update, ComputeDt) is
+  invoked through a backend (:mod:`repro.kernels.backends`) named
+  ``fortran``, ``cpp`` or ``gpu``;
+- the ``fortran`` and ``cpp`` backends compute identical mathematics with
+  different floating-point accumulation orders, reproducing the mechanism
+  behind the paper's ~1e-7 L2-norm drift between languages;
+- the ``gpu`` backend evaluates the same arithmetic as ``cpp`` (the paper
+  reports no accuracy change on GPU) but executes through a simulated
+  device (:mod:`repro.kernels.device`): scratch arrays are allocated in
+  "global memory" before launch (never inside kernels), launches are
+  recorded with flop/byte counts for the roofline model, and device-memory
+  capacity is enforced — reproducing the 16 GB V100 limit that shaped the
+  paper's problem sizes.
+"""
+
+from repro.kernels.device import DeviceMemoryError, GpuDevice
+from repro.kernels.api import KernelSet, make_backend
+
+__all__ = ["GpuDevice", "DeviceMemoryError", "KernelSet", "make_backend"]

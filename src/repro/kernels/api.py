@@ -1,0 +1,251 @@
+"""Kernel backends: the Fortran -> C++ -> GPU port, functionally.
+
+A :class:`KernelSet` bundles the per-patch kernels CRoCCo's RK3 advance
+calls (Algorithm 2): ``WENOx/y/z``, ``Viscous``, ``Update``, plus the
+``ComputeDt`` rate estimate.  Three backends exist:
+
+``fortran``
+    The original kernel organization: the RK right-hand side accumulates
+    direction sweeps in x, y, z order and assembles fluxes with
+    Fortran-style left-to-right summation.
+
+``cpp``
+    The translated kernels.  Mathematically identical, but the compiler
+    re-associates differently: we model this by accumulating the direction
+    sweeps in reverse order and pairing additions differently.  Running
+    both backends on the same problem produces a small floating-point
+    drift whose L2 norm plateaus near machine-precision-amplified levels —
+    the paper's 1e-7 validation criterion (Sec. IV-A).
+
+``gpu``
+    Same arithmetic as ``cpp`` (the paper observed no accuracy change on
+    GPU), but executed through the simulated device: per-patch state is
+    resident in device memory, scratch arrays are allocated host-side
+    before launch, each kernel is a recorded launch with flop/byte
+    budgets, and reductions use the device ``ReduceData`` path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.kernels.counts import (
+    BUDGETS,
+    COMPUTEDT_BUDGET,
+    UPDATE_BUDGET,
+    VISCOUS_BUDGET,
+    WENO_BUDGET,
+)
+from repro.kernels.device import GpuDevice
+from repro.numerics.cfl import local_max_rate
+from repro.numerics.fluxes import ConvectiveFlux
+from repro.numerics.metrics import Metrics
+from repro.numerics.rk3 import rk3_stage
+from repro.numerics.state import StateLayout
+from repro.numerics.viscous import ViscousFlux
+
+BACKENDS = ("fortran", "cpp", "gpu")
+
+DIRECTION_NAMES = ("WENOx", "WENOy", "WENOz")
+
+
+@dataclass
+class KernelSet:
+    """Backend-specific kernel implementations for one solver configuration."""
+
+    backend: str
+    layout: StateLayout
+    eos: object
+    convective: ConvectiveFlux
+    viscous: Optional[ViscousFlux] = None
+    device: Optional[GpuDevice] = None
+    #: "double" or "mixed": mixed precision (a paper future-work item,
+    #: Sec. VI-A) evaluates the flux kernels in float32 on the gpu backend
+    #: while keeping the state and the RK update in float64
+    precision: str = "double"
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ValueError(f"unknown backend {self.backend!r}; options {BACKENDS}")
+        if self.precision not in ("double", "mixed"):
+            raise ValueError("precision must be 'double' or 'mixed'")
+        if self.precision == "mixed" and self.backend != "gpu":
+            raise ValueError("mixed precision is a GPU-backend experiment")
+        if self.backend == "gpu" and self.device is None:
+            self.device = GpuDevice()
+        # the translated (cpp/gpu) kernels evaluate the LF split in the
+        # re-associated form — the fortran/C++ floating-point divergence
+        from dataclasses import replace
+
+        want = "fused" if self.backend == "fortran" else "distributed"
+        if self.convective.split_form != want:
+            self.convective = replace(self.convective, split_form=want)
+
+    @property
+    def on_gpu(self) -> bool:
+        return self.backend == "gpu"
+
+    @property
+    def nghost(self) -> int:
+        ng = self.convective.nghost + 1
+        if self.viscous is not None:
+            ng = max(ng, self.viscous.nghost)
+        return ng
+
+    # -- RHS evaluation --------------------------------------------------
+    def rhs(self, u: np.ndarray, metrics: Metrics, ng: int,
+            device: Optional[GpuDevice] = None) -> np.ndarray:
+        """Full right-hand side over the valid region of one patch.
+
+        The accumulation *order* of direction sweeps differs between the
+        fortran and cpp/gpu backends (see module docstring): a deliberate,
+        faithful source of floating-point divergence.  ``device`` selects
+        the executing GPU (Summit runs one rank per GPU); defaults to the
+        KernelSet's own device.
+        """
+        dev = device if device is not None else self.device
+        dim = self.layout.dim
+        if self.precision == "mixed":
+            # flux kernels evaluate in single precision; the state stays
+            # double and the update accumulates in double (the standard
+            # mixed-precision recipe the paper lists as future work)
+            u = u.astype(np.float32).astype(np.float64)
+        directions = range(dim) if self.backend == "fortran" else range(dim - 1, -1, -1)
+        out: Optional[np.ndarray] = None
+        for d in directions:
+            contrib = self._weno_direction(u, metrics, d, ng, dev)
+            out = contrib if out is None else out + contrib
+        if self.viscous is not None:
+            out = out + self._viscous(u, metrics, ng, dev)
+        assert out is not None
+        if self.precision == "mixed":
+            out = out.astype(np.float32).astype(np.float64)
+        return out
+
+    def _weno_direction(self, u: np.ndarray, metrics: Metrics, d: int,
+                        ng: int, device: Optional[GpuDevice] = None) -> np.ndarray:
+        name = DIRECTION_NAMES[d]
+        dev = device if device is not None else self.device
+        if self.on_gpu:
+            npts = int(np.prod([s - 2 * ng for s in u.shape[1:]]))
+            # scratch arrays live in device global memory, allocated from
+            # the host before launch (Sec. IV-B)
+            scratch = dev.alloc((self.layout.ncons,) + u.shape[1:])
+            try:
+                return dev.launch(
+                    name,
+                    lambda: self.convective.divergence(
+                        self.layout, self.eos, u, metrics, d, ng
+                    ),
+                    npoints=npts,
+                    flops_per_point=WENO_BUDGET.flops_per_point,
+                    dram_bytes_per_point=WENO_BUDGET.dram_bytes_per_point,
+                    l2_amplification=WENO_BUDGET.l2_amplification,
+                    l1_amplification=WENO_BUDGET.l1_amplification,
+                )
+            finally:
+                scratch.free()
+        return self.convective.divergence(self.layout, self.eos, u, metrics, d, ng)
+
+    def _viscous(self, u: np.ndarray, metrics: Metrics, ng: int,
+                 device: Optional[GpuDevice] = None) -> np.ndarray:
+        assert self.viscous is not None
+        dev = device if device is not None else self.device
+        if self.on_gpu:
+            npts = int(np.prod([s - 2 * ng for s in u.shape[1:]]))
+            return dev.launch(
+                "Viscous",
+                lambda: self.viscous.divergence(self.layout, self.eos, u, metrics, ng),
+                npoints=npts,
+                flops_per_point=VISCOUS_BUDGET.flops_per_point,
+                dram_bytes_per_point=VISCOUS_BUDGET.dram_bytes_per_point,
+                l2_amplification=VISCOUS_BUDGET.l2_amplification,
+                l1_amplification=VISCOUS_BUDGET.l1_amplification,
+            )
+        return self.viscous.divergence(self.layout, self.eos, u, metrics, ng)
+
+    # -- RK update kernel -----------------------------------------------------
+    def update(self, u_valid: np.ndarray, du: np.ndarray, rhs: np.ndarray,
+               dt: float, stage: int,
+               device: Optional[GpuDevice] = None) -> None:
+        """Low-storage RK stage over one patch's valid region, in place."""
+        dev = device if device is not None else self.device
+        if self.on_gpu:
+            npts = int(np.prod(u_valid.shape[1:]))
+            dev.launch(
+                "Update",
+                lambda: rk3_stage(u_valid, du, rhs, dt, stage),
+                npoints=npts,
+                flops_per_point=UPDATE_BUDGET.flops_per_point,
+                dram_bytes_per_point=UPDATE_BUDGET.dram_bytes_per_point,
+            )
+        else:
+            rk3_stage(u_valid, du, rhs, dt, stage)
+
+    # -- ComputeDt ----------------------------------------------------------
+    def max_rate(self, u: np.ndarray, metrics: Metrics,
+                 device: Optional[GpuDevice] = None) -> float:
+        """Patch CFL rate, via the device reduction on the gpu backend."""
+        dev = device if device is not None else self.device
+        if self.on_gpu:
+            rho, vel, p = self.eos.primitives(self.layout, u)
+            a = self.eos.sound_speed(self.layout, u)
+            from repro.numerics.fluxes import wave_speed
+
+            total = None
+            J = metrics.jacobian()
+            for d in range(self.layout.dim):
+                w = wave_speed(vel, a, metrics.m(d), J)
+                total = w if total is None else total + w
+            return dev.reduce("ComputeDt", total, op="max")
+        return local_max_rate(self.layout, self.eos, u, metrics)
+
+    # -- device residency ----------------------------------------------------
+    def register_state(self, nbytes: int,
+                       device: Optional[GpuDevice] = None):
+        """Account persistent state residency in device memory.
+
+        Returns a handle whose ``free()`` releases the bytes; the caller
+        (the CRoCCo driver) registers each patch's storage on the owning
+        rank's GPU when a level is created on the gpu backend.
+        """
+        if not self.on_gpu:
+            return None
+        return _Residency(device if device is not None else self.device, nbytes)
+
+
+class _Residency:
+    """Persistent device-memory reservation for level state."""
+
+    def __init__(self, device: GpuDevice, nbytes: int) -> None:
+        self._device = device
+        self._nbytes = nbytes
+        device._allocate(nbytes)
+        self._freed = False
+
+    def free(self) -> None:
+        if not self._freed:
+            self._device._release(self._nbytes)
+            self._freed = True
+
+
+def make_backend(
+    backend: str,
+    layout: StateLayout,
+    eos,
+    convective: Optional[ConvectiveFlux] = None,
+    viscous: Optional[ViscousFlux] = None,
+    device: Optional[GpuDevice] = None,
+) -> KernelSet:
+    """Convenience constructor with default operators."""
+    return KernelSet(
+        backend=backend,
+        layout=layout,
+        eos=eos,
+        convective=convective if convective is not None else ConvectiveFlux(),
+        viscous=viscous,
+        device=device,
+    )

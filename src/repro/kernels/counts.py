@@ -1,0 +1,80 @@
+"""Analytic flop / memory-traffic estimates for the CRoCCo kernels.
+
+These per-grid-point budgets drive the simulated device's launch records
+and, downstream, the hierarchical roofline of Fig. 4.  They are order-of-
+magnitude counts for the 5-component, curvilinear, double-precision
+kernels:
+
+- **WENO** (per direction): primitive recovery, metric-weighted flux
+  assembly, Lax-Friedrichs splitting, and 4-candidate reconstruction of
+  both split parts for 5 components — roughly 600 flops/point.  DRAM
+  traffic is amplified well beyond the minimal state size because the GPU
+  port stages intermediate results in *global-memory scratch arrays*
+  (Sec. IV-B: one-/two-dimensional locals were replaced by full 3D arrays
+  written by one ``ParallelFor`` and re-read by the next), so each point
+  moves state + metrics + several scratch fields ~ 400 B.
+- **Viscous**: two derivative passes over velocity/temperature plus stress
+  assembly — ~450 flops and ~300 B per point.
+- **Update** (RK stage): a saxpy over 5 components — trivially
+  bandwidth-bound.
+- register pressure: the paper reports theoretical occupancy limited to
+  12.5% by "very high register usage"; 255 registers/thread reproduces
+  exactly that bound on a V100 (65536 regs / 255 -> 256 threads of 2048).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class KernelBudget:
+    """Per-point cost estimates for one kernel."""
+
+    name: str
+    flops_per_point: float
+    dram_bytes_per_point: float
+    l2_amplification: float
+    l1_amplification: float
+    registers_per_thread: int
+
+
+WENO_BUDGET = KernelBudget(
+    name="WENO",
+    flops_per_point=600.0,
+    dram_bytes_per_point=400.0,
+    l2_amplification=1.8,
+    l1_amplification=4.5,
+    registers_per_thread=255,
+)
+
+VISCOUS_BUDGET = KernelBudget(
+    name="Viscous",
+    flops_per_point=450.0,
+    dram_bytes_per_point=300.0,
+    l2_amplification=1.8,
+    l1_amplification=4.0,
+    registers_per_thread=255,
+)
+
+UPDATE_BUDGET = KernelBudget(
+    name="Update",
+    flops_per_point=20.0,
+    dram_bytes_per_point=120.0,
+    l2_amplification=1.0,
+    l1_amplification=1.0,
+    registers_per_thread=64,
+)
+
+COMPUTEDT_BUDGET = KernelBudget(
+    name="ComputeDt",
+    flops_per_point=40.0,
+    dram_bytes_per_point=72.0,
+    l2_amplification=1.0,
+    l1_amplification=1.0,
+    registers_per_thread=64,
+)
+
+BUDGETS = {
+    b.name: b for b in (WENO_BUDGET, VISCOUS_BUDGET, UPDATE_BUDGET, COMPUTEDT_BUDGET)
+}

@@ -1,0 +1,190 @@
+"""Simulated GPU device: memory arena, launch records, reductions.
+
+We have no physical GPU, so this module supplies the *behavioral* device
+the GPU backend runs on:
+
+- a global-memory allocator with a hard capacity (16 GB on a Summit V100),
+  raising :class:`DeviceMemoryError` exactly where the real code would
+  fault — the paper reports grid counts beyond 2.0e5 points spilling V100
+  memory, which shaped both scaling studies;
+- kernel-launch records (name, points, flops, bytes at each memory level)
+  that feed the hierarchical roofline model of Fig. 4;
+- an ``amrex::ParallelFor``-style launch helper and an
+  ``amrex::ReduceData``-style reduction helper, mirroring the API the
+  paper ports its kernels onto.
+
+Arithmetic runs on the host NumPy arrays; only the accounting is
+simulated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+#: Summit NVIDIA V100 device memory
+V100_MEMORY_BYTES = 16 * 1024**3
+
+
+class DeviceMemoryError(MemoryError):
+    """Raised when a device allocation exceeds the arena capacity."""
+
+
+@dataclass
+class LaunchRecord:
+    """One recorded kernel launch."""
+
+    name: str
+    npoints: int
+    flops: int
+    dram_bytes: int
+    l2_bytes: int
+    l1_bytes: int
+
+
+class DeviceArray:
+    """A NumPy array accounted against the device arena."""
+
+    def __init__(self, device: "GpuDevice", shape: Tuple[int, ...],
+                 dtype=np.float64) -> None:
+        self._device = device
+        self.data = np.zeros(shape, dtype=dtype)
+        self._nbytes = self.data.nbytes
+        device._allocate(self._nbytes)
+        self._freed = False
+
+    @property
+    def nbytes(self) -> int:
+        return self._nbytes
+
+    def free(self) -> None:
+        if not self._freed:
+            self._device._release(self._nbytes)
+            self._freed = True
+
+    def __enter__(self) -> "DeviceArray":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.free()
+
+
+class GpuDevice:
+    """A simulated accelerator with bounded memory and launch accounting."""
+
+    def __init__(self, name: str = "V100",
+                 memory_bytes: int = V100_MEMORY_BYTES) -> None:
+        self.name = name
+        self.memory_bytes = memory_bytes
+        self.bytes_in_use = 0
+        self.high_water = 0
+        self.launches: List[LaunchRecord] = []
+        self.alloc_count = 0
+
+    # -- memory -----------------------------------------------------------
+    def _allocate(self, nbytes: int) -> None:
+        if self.bytes_in_use + nbytes > self.memory_bytes:
+            raise DeviceMemoryError(
+                f"device {self.name}: allocation of {nbytes} bytes exceeds "
+                f"capacity ({self.bytes_in_use}/{self.memory_bytes} in use)"
+            )
+        self.bytes_in_use += nbytes
+        self.high_water = max(self.high_water, self.bytes_in_use)
+        self.alloc_count += 1
+
+    def _release(self, nbytes: int) -> None:
+        self.bytes_in_use -= nbytes
+        if self.bytes_in_use < 0:
+            raise RuntimeError("device arena double free")
+
+    def alloc(self, shape: Tuple[int, ...], dtype=np.float64) -> DeviceArray:
+        """Allocate a scratch array in device global memory.
+
+        Per the paper (Sec. IV-B), scratch arrays are allocated from the
+        *host* before kernel launch — dynamic allocation inside a GPU
+        kernel is a major performance impediment — so the backend calls
+        this up front and passes arrays into launches.
+        """
+        return DeviceArray(self, shape, dtype)
+
+    def upload(self, arr: np.ndarray) -> DeviceArray:
+        """Copy a host array to the device (accounted allocation + copy)."""
+        d = DeviceArray(self, arr.shape, arr.dtype)
+        d.data[...] = arr
+        return d
+
+    # -- launches ----------------------------------------------------------
+    def launch(
+        self,
+        name: str,
+        fn: Callable[[], Optional[np.ndarray]],
+        npoints: int,
+        flops_per_point: float,
+        dram_bytes_per_point: float,
+        l2_amplification: float = 1.6,
+        l1_amplification: float = 4.0,
+    ):
+        """Run ``fn`` as one recorded kernel launch (ParallelFor semantics).
+
+        ``l2_amplification``/``l1_amplification`` model how much more
+        traffic the stencil kernels generate at the inner cache levels than
+        at DRAM (each cell is re-read by every stencil that covers it; the
+        caches absorb most but not all of the reuse).
+        """
+        result = fn()
+        dram = int(npoints * dram_bytes_per_point)
+        self.launches.append(
+            LaunchRecord(
+                name=name,
+                npoints=npoints,
+                flops=int(npoints * flops_per_point),
+                dram_bytes=dram,
+                l2_bytes=int(dram * l2_amplification),
+                l1_bytes=int(dram * l1_amplification),
+            )
+        )
+        return result
+
+    def reduce(self, name: str, values: np.ndarray, op: str = "min") -> float:
+        """amrex::ReduceData-style device reduction (used by ComputeDt)."""
+        ops = {"min": np.min, "max": np.max, "sum": np.sum}
+        if op not in ops:
+            raise ValueError(f"unknown reduction op {op!r}")
+        n = int(np.asarray(values).size)
+        self.launches.append(
+            LaunchRecord(
+                name=name, npoints=n, flops=n,
+                dram_bytes=n * 8, l2_bytes=n * 8, l1_bytes=n * 8,
+            )
+        )
+        return float(ops[op](values))
+
+    # -- summaries --------------------------------------------------------
+    def launches_by_kernel(self) -> Dict[str, List[LaunchRecord]]:
+        out: Dict[str, List[LaunchRecord]] = {}
+        for rec in self.launches:
+            out.setdefault(rec.name, []).append(rec)
+        return out
+
+    def totals(self, name: Optional[str] = None) -> LaunchRecord:
+        """Aggregate record over all launches (optionally one kernel)."""
+        recs = [r for r in self.launches if name is None or r.name == name]
+        return LaunchRecord(
+            name=name or "total",
+            npoints=sum(r.npoints for r in recs),
+            flops=sum(r.flops for r in recs),
+            dram_bytes=sum(r.dram_bytes for r in recs),
+            l2_bytes=sum(r.l2_bytes for r in recs),
+            l1_bytes=sum(r.l1_bytes for r in recs),
+        )
+
+    def reset(self) -> None:
+        self.launches.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"GpuDevice({self.name}, {self.bytes_in_use}/{self.memory_bytes} B, "
+            f"{len(self.launches)} launches)"
+        )

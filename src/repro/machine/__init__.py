@@ -1,0 +1,27 @@
+"""Summit platform models.
+
+The paper's evaluation ran on the Summit supercomputer at ORNL (Sec. V-A):
+nodes with six NVIDIA V100 GPUs and two 22-core IBM POWER9 CPUs, a
+fat-tree interconnect, up to 1024 nodes.  We have no Summit, so this
+package supplies analytic models of those components — calibrated to
+published hardware characteristics — that the performance layer
+(:mod:`repro.perfmodel`) combines with *exact decomposition metadata*
+(boxes, ranks, message volumes) to regenerate the paper's scaling
+figures.
+"""
+
+from repro.machine.summit import SummitSpec, SUMMIT
+from repro.machine.gpu import V100Model
+from repro.machine.node import Power9Model
+from repro.machine.network import FatTreeModel
+from repro.machine.roofline import hierarchical_roofline, RooflinePoint
+
+__all__ = [
+    "SummitSpec",
+    "SUMMIT",
+    "V100Model",
+    "Power9Model",
+    "FatTreeModel",
+    "hierarchical_roofline",
+    "RooflinePoint",
+]

@@ -1,0 +1,89 @@
+"""Fat-tree interconnect model (Summit's dual-rail EDR InfiniBand).
+
+Prices simulated MPI traffic:
+
+- **point-to-point neighbor exchange** (FillBoundary): cost set by the
+  busiest rank's off-node volume through the node injection bandwidth,
+  plus per-message latency; on-node traffic moves at NVLink/shared-memory
+  speed.
+- **global redistribution** (ParallelCopy): beyond the volume term, global
+  operations pay scale-dependent contention — a fat tree is rarely run at
+  full bisection, adaptive routing is imperfect, and the metadata
+  (intersection) handshake grows with rank count.  We model this with an
+  effective-bandwidth degradation logarithmic in node count, the behavior
+  the paper observes as FillPatch time creeping up across the weak-scaling
+  series (Figs. 6-7).
+- **reductions / barriers**: latency times a binomial-tree depth.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+from repro.machine.summit import SummitSpec, SUMMIT
+
+
+@dataclass(frozen=True)
+class FatTreeModel:
+    """Summit-like fat tree pricing."""
+
+    spec: SummitSpec = SUMMIT
+    #: on-node transfer bandwidth (NVLink / shared memory) [B/s]
+    on_node_bw: float = 120e9
+    #: contention growth per doubling of node count for global traffic
+    global_contention_per_doubling: float = 0.35
+    #: contention growth per doubling for neighbor (p2p) traffic
+    p2p_contention_per_doubling: float = 0.045
+    #: software + rendezvous overhead per message [s]
+    message_overhead: float = 2.0e-6
+
+    # -- effective bandwidths -------------------------------------------------
+    def _doublings(self, nodes: int) -> float:
+        return math.log2(max(1, nodes))
+
+    def p2p_effective_bw(self, nodes: int) -> float:
+        """Per-node injection bandwidth under neighbor-exchange contention."""
+        damp = 1.0 + self.p2p_contention_per_doubling * self._doublings(nodes)
+        return self.spec.node_injection_bw / damp
+
+    def global_effective_bw(self, nodes: int) -> float:
+        """Per-node effective bandwidth for all-to-all-like redistribution."""
+        damp = 1.0 + self.global_contention_per_doubling * self._doublings(nodes)
+        return self.spec.node_injection_bw / damp
+
+    # -- operation pricing -----------------------------------------------
+    def p2p_time(self, max_rank_off_node_bytes: float,
+                 max_rank_on_node_bytes: float,
+                 max_rank_messages: int, nodes: int) -> float:
+        """Neighbor exchange: the busiest rank bounds the phase."""
+        ranks_per_node = self.spec.ranks_per_node(True)
+        inj_share = self.p2p_effective_bw(nodes) / ranks_per_node
+        return (
+            max_rank_off_node_bytes / inj_share
+            + max_rank_on_node_bytes / self.on_node_bw
+            + max_rank_messages * self.message_overhead
+        )
+
+    def global_copy_time(self, max_rank_bytes: float, total_bytes: float,
+                         nodes: int, nranks: int) -> float:
+        """ParallelCopy: busiest-rank volume + global metadata handshake."""
+        ranks_per_node = max(1, nranks // max(1, nodes))
+        bw_share = self.global_effective_bw(nodes) / ranks_per_node
+        handshake = 2.0 * self.spec.network_latency * math.ceil(
+            math.log2(max(2, nranks))
+        )
+        # aggregate pressure on the tree's upper levels
+        tree_term = total_bytes / (self.global_effective_bw(nodes) * max(1, nodes))
+        return max_rank_bytes / bw_share + tree_term + handshake
+
+    def reduction_time(self, nranks: int, payload_bytes: int = 8) -> float:
+        """Allreduce via binomial tree up and broadcast down."""
+        depth = math.ceil(math.log2(max(2, nranks)))
+        per_hop = self.spec.network_latency + payload_bytes / self.spec.node_injection_bw
+        return 2.0 * depth * per_hop
+
+    def barrier_time(self, nranks: int) -> float:
+        depth = math.ceil(math.log2(max(2, nranks)))
+        return depth * self.spec.network_latency

@@ -1,0 +1,38 @@
+"""Summit system specification (public ORNL numbers)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SummitSpec:
+    """Per-node composition and interconnect of the Summit system."""
+
+    gpus_per_node: int = 6
+    cpu_sockets: int = 2
+    cores_per_socket: int = 22
+    #: dual-rail EDR InfiniBand node injection bandwidth [B/s]
+    node_injection_bw: float = 25e9
+    #: small-message latency [s]
+    network_latency: float = 1.5e-6
+    #: maximum node count used in the paper
+    max_nodes: int = 1024
+
+    @property
+    def cores_per_node(self) -> int:
+        return self.cpu_sockets * self.cores_per_socket
+
+    def ranks_for(self, nodes: int, on_gpu: bool) -> int:
+        """MPI ranks for a run: one per GPU, or one per core on CPU runs."""
+        if nodes < 1:
+            raise ValueError("need at least one node")
+        per_node = self.gpus_per_node if on_gpu else self.cores_per_node
+        return nodes * per_node
+
+    def ranks_per_node(self, on_gpu: bool) -> int:
+        return self.gpus_per_node if on_gpu else self.cores_per_node
+
+
+#: the default Summit instance
+SUMMIT = SummitSpec()

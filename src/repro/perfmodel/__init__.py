@@ -1,0 +1,39 @@
+"""Summit-scale performance simulation.
+
+Combines exact decomposition metadata (BoxArrays, DistributionMappings and
+box-intersection message volumes from :mod:`repro.amr`, built at the
+paper's real problem sizes without allocating field data) with the machine
+models of :mod:`repro.machine` to regenerate the paper's evaluation:
+kernel times (Fig. 3), the roofline (Fig. 4), strong and weak scaling
+(Fig. 5, Table I), and the region decompositions (Figs. 6-7).
+"""
+
+from repro.perfmodel.calibration import Calibration, CAL
+from repro.perfmodel.decomposition import (
+    HierarchySpec,
+    LevelDecomposition,
+    build_hierarchy,
+    dmr_band_hierarchy,
+)
+from repro.perfmodel.execution import IterationBreakdown, simulate_iteration
+from repro.perfmodel.scaling import (
+    TABLE1,
+    ScalingPoint,
+    strong_scaling,
+    weak_scaling,
+)
+
+__all__ = [
+    "Calibration",
+    "CAL",
+    "HierarchySpec",
+    "LevelDecomposition",
+    "build_hierarchy",
+    "dmr_band_hierarchy",
+    "IterationBreakdown",
+    "simulate_iteration",
+    "TABLE1",
+    "ScalingPoint",
+    "strong_scaling",
+    "weak_scaling",
+]

@@ -1,0 +1,127 @@
+"""Strong- and weak-scaling drivers (Fig. 5, Table I).
+
+Strong scaling: CRoCCo 1.1 / 1.2 / 2.0 on 16..1024 nodes at 1.27e9 grid
+points.  Weak scaling: the Table I series (4..1024 nodes, 1.64e8..4.19e10
+equivalent points, ~4.1e7 per node), versions 1.1 / 1.2 / 2.0 / 2.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.perfmodel.calibration import CAL, Calibration
+from repro.perfmodel.decomposition import (
+    amr_reduction,
+    dmr_band_hierarchy,
+)
+from repro.perfmodel.execution import IterationBreakdown, simulate_iteration
+
+#: Table I of the paper: (nodes, gpus, equivalent grid points)
+TABLE1: Tuple[Tuple[int, int, float], ...] = (
+    (4, 24, 1.64e8),
+    (16, 96, 6.55e8),
+    (36, 216, 1.47e9),
+    (64, 384, 2.62e9),
+    (100, 600, 4.10e9),
+    (256, 1536, 1.05e10),
+    (400, 2400, 1.64e10),
+    (1024, 6144, 4.19e10),
+)
+
+#: strong-scaling study parameters (Sec. V-C)
+STRONG_POINTS = 1.27e9
+STRONG_NODES: Tuple[int, ...] = (16, 32, 64, 128, 256, 512, 1024)
+
+
+@dataclass
+class ScalingPoint:
+    """One (version, node count) sample of a scaling study."""
+
+    version: str
+    nodes: int
+    nranks: int
+    equiv_points: float
+    active_points: int
+    amr_reduction: float
+    breakdown: IterationBreakdown
+
+    @property
+    def time_per_iteration(self) -> float:
+        return self.breakdown.total
+
+
+#: hierarchy cache keyed by (equiv_points, nranks, amr) — versions sharing
+#: a decomposition (2.0 and 2.1) reuse it, including memoized volumes
+_HIERARCHY_CACHE: Dict[Tuple[float, int, bool], list] = {}
+
+
+def _cached_hierarchy(equiv_points: float, nranks: int, rpn: int, amr: bool,
+                      cal: Calibration) -> list:
+    key = (equiv_points, nranks, amr)
+    if cal is not CAL:
+        return dmr_band_hierarchy(equiv_points, nranks, rpn, amr, cal)
+    if key not in _HIERARCHY_CACHE:
+        _HIERARCHY_CACHE[key] = dmr_band_hierarchy(
+            equiv_points, nranks, rpn, amr, cal
+        )
+    return _HIERARCHY_CACHE[key]
+
+
+def _run_point(version: str, nodes: int, equiv_points: float,
+               cal: Calibration) -> ScalingPoint:
+    from repro.core.versions import get_version
+
+    v = get_version(version)
+    nranks = cal.spec.ranks_for(nodes, v.on_gpu)
+    rpn = cal.spec.ranks_per_node(v.on_gpu)
+    levels = _cached_hierarchy(equiv_points, nranks, rpn, v.amr, cal)
+    bd = simulate_iteration(v, levels, nodes, cal)
+    return ScalingPoint(
+        version=version,
+        nodes=nodes,
+        nranks=nranks,
+        equiv_points=equiv_points,
+        active_points=sum(l.num_pts() for l in levels),
+        amr_reduction=amr_reduction(levels) if v.amr else 0.0,
+        breakdown=bd,
+    )
+
+
+def strong_scaling(
+    versions: Sequence[str] = ("1.1", "1.2", "2.0"),
+    nodes: Sequence[int] = STRONG_NODES,
+    points: float = STRONG_POINTS,
+    cal: Calibration = CAL,
+) -> Dict[str, List[ScalingPoint]]:
+    """Fig. 5 (left): time/iteration vs node count at fixed problem size."""
+    return {
+        v: [_run_point(v, n, points, cal) for n in nodes] for v in versions
+    }
+
+
+def weak_scaling(
+    versions: Sequence[str] = ("1.1", "1.2", "2.0", "2.1"),
+    table: Sequence[Tuple[int, int, float]] = TABLE1,
+    cal: Calibration = CAL,
+) -> Dict[str, List[ScalingPoint]]:
+    """Fig. 5 (right): time/iteration over the Table I weak-scaling series."""
+    return {
+        v: [_run_point(v, n, pts, cal) for (n, _g, pts) in table]
+        for v in versions
+    }
+
+
+def weak_scaling_efficiency(points: Sequence[ScalingPoint],
+                            baseline_index: int = 0) -> List[float]:
+    """t(base)/t(n): the paper quotes 2.0 at ~54% @400 nodes, ~40% @1024."""
+    t0 = points[baseline_index].time_per_iteration
+    return [t0 / p.time_per_iteration for p in points]
+
+
+def speedup_series(a: Sequence[ScalingPoint],
+                   b: Sequence[ScalingPoint]) -> List[float]:
+    """Per-node-count speedup of series ``b`` over series ``a`` (t_a / t_b)."""
+    if len(a) != len(b):
+        raise ValueError("series length mismatch")
+    return [pa.time_per_iteration / pb.time_per_iteration for pa, pb in zip(a, b)]

@@ -1,0 +1,5 @@
+"""Profiling utilities: TinyProfiler-style region timers."""
+
+from repro.profiling.tinyprofiler import TinyProfiler
+
+__all__ = ["TinyProfiler"]

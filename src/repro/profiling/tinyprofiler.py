@@ -1,0 +1,134 @@
+"""TinyProfiler: hierarchical region timers.
+
+Mirrors AMReX's TinyProfiler, which the paper uses to collect the region
+decompositions of Figs. 6 and 7: nested named regions accumulate call
+counts and (wall or externally supplied) time, and a report lists
+inclusive/exclusive totals.
+
+Besides wall-clock timing, regions accept *charged* time so the Summit
+performance model can attribute simulated seconds to the same region
+names (FillPatch, Advance, Regrid, ComputeDt, AverageDown, and the
+FillPatch internals ParallelCopy/FillBoundary).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+
+@dataclass
+class RegionStats:
+    """Accumulated statistics for one region (identified by its path)."""
+
+    name: str
+    calls: int = 0
+    inclusive: float = 0.0
+    child_time: float = 0.0
+
+    @property
+    def exclusive(self) -> float:
+        return self.inclusive - self.child_time
+
+
+class TinyProfiler:
+    """Nested region timer with charge (simulated-time) support."""
+
+    def __init__(self) -> None:
+        self._stats: Dict[Tuple[str, ...], RegionStats] = {}
+        self._stack: List[Tuple[str, ...]] = []
+
+    @contextmanager
+    def region(self, name: str) -> Iterator[None]:
+        """Time a region with the wall clock (nests under the current region)."""
+        path = tuple(self._stack[-1] if self._stack else ()) + (name,)
+        self._stack.append(path)
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            dt = time.perf_counter() - t0
+            self._stack.pop()
+            self._accumulate(path, dt)
+
+    def charge(self, name: str, seconds: float, calls: int = 1) -> None:
+        """Attribute simulated time to a region under the current nesting."""
+        if seconds < 0:
+            raise ValueError("cannot charge negative time")
+        path = tuple(self._stack[-1] if self._stack else ()) + (name,)
+        self._accumulate(path, seconds, calls)
+
+    @contextmanager
+    def charged_region(self, name: str) -> Iterator[None]:
+        """A zero-wall-time nesting context for structuring charges."""
+        path = tuple(self._stack[-1] if self._stack else ()) + (name,)
+        self._stack.append(path)
+        try:
+            yield
+        finally:
+            self._stack.pop()
+            if path not in self._stats:
+                self._stats[path] = RegionStats(name=name)
+
+    def _accumulate(self, path: Tuple[str, ...], dt: float, calls: int = 1) -> None:
+        stats = self._stats.setdefault(path, RegionStats(name=path[-1]))
+        stats.calls += calls
+        stats.inclusive += dt
+        if len(path) > 1:
+            parent = self._stats.setdefault(path[:-1], RegionStats(name=path[-2]))
+            parent.child_time += dt
+            # charging into a never-entered parent still counts as inclusive
+            if parent.calls == 0:
+                parent.inclusive += dt
+
+    # -- queries -----------------------------------------------------------
+    def total(self, name: str) -> float:
+        """Summed inclusive time over every region with this name."""
+        return sum(s.inclusive for p, s in self._stats.items() if p[-1] == name)
+
+    def calls(self, name: str) -> int:
+        return sum(s.calls for p, s in self._stats.items() if p[-1] == name)
+
+    def top_level(self) -> Dict[str, float]:
+        """{name: inclusive time} for depth-1 regions."""
+        return {
+            p[0]: s.inclusive for p, s in self._stats.items() if len(p) == 1
+        }
+
+    def breakdown(self, parent: str) -> Dict[str, float]:
+        """{child name: inclusive} summed over every occurrence of ``parent``."""
+        out: Dict[str, float] = {}
+        for p, s in self._stats.items():
+            if len(p) >= 2 and p[-2] == parent:
+                out[p[-1]] = out.get(p[-1], 0.0) + s.inclusive
+        return out
+
+    def reset(self) -> None:
+        self._stats.clear()
+        self._stack.clear()
+
+    def report(self) -> str:
+        """An indented text report (TinyProfiler style): children grouped
+        under their parents, siblings ordered by inclusive time."""
+        lines = ["TinyProfiler report", "-" * 60]
+
+        def children_of(parent: Tuple[str, ...]):
+            kids = [p for p in self._stats
+                    if len(p) == len(parent) + 1 and p[:len(parent)] == parent]
+            return sorted(kids, key=lambda p: -self._stats[p].inclusive)
+
+        def walk(path: Tuple[str, ...]) -> None:
+            s = self._stats[path]
+            indent = "  " * (len(path) - 1)
+            lines.append(
+                f"{indent}{s.name:<30s} calls={s.calls:<8d} "
+                f"incl={s.inclusive:.6f}s excl={s.exclusive:.6f}s"
+            )
+            for kid in children_of(path):
+                walk(kid)
+
+        for top in children_of(()):
+            walk(top)
+        return "\n".join(lines)

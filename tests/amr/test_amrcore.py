@@ -1,0 +1,163 @@
+"""Tests for the AmrCore level hierarchy and regridding."""
+
+import numpy as np
+import pytest
+
+from repro.amr.amrcore import AmrConfig, AmrCore, optimal_regrid_interval
+from repro.amr.box import Box
+from repro.amr.boxarray import BoxArray
+from repro.amr.distribution import DistributionMapping
+from repro.amr.geometry import Geometry
+from repro.mpi.comm import Communicator
+
+
+class TrackingAmr(AmrCore):
+    """AmrCore with a movable square feature driving refinement."""
+
+    def __init__(self, geom0, config, comm=None, feature_center=(16, 16),
+                 feature_half=3):
+        super().__init__(geom0, config, comm)
+        self.feature_center = list(feature_center)
+        self.feature_half = feature_half
+        self.events = []
+
+    def _feature_tags(self, lev):
+        r = self.amr_config.ref_ratio ** lev
+        cx, cy = (c * r for c in self.feature_center)
+        h = self.feature_half * r
+        dom = self.geoms[lev].domain
+        pts = [
+            (i, j)
+            for i in range(max(dom.lo[0], cx - h), min(dom.hi[0], cx + h) + 1)
+            for j in range(max(dom.lo[1], cy - h), min(dom.hi[1], cy + h) + 1)
+        ]
+        return np.array(pts, dtype=np.int64)
+
+    def error_est(self, lev):
+        return self._feature_tags(lev)
+
+    def make_new_level_from_scratch(self, lev, ba, dm):
+        self.events.append(("scratch", lev))
+
+    def make_new_level_from_coarse(self, lev, ba, dm):
+        self.events.append(("from_coarse", lev))
+
+    def remake_level(self, lev, ba, dm):
+        self.events.append(("remake", lev))
+
+    def clear_level(self, lev):
+        self.events.append(("clear", lev))
+
+
+def make_amr(max_level=2, nranks=2, **kw):
+    geom0 = Geometry(Box((0, 0), (63, 63)), (0.0, 0.0), (1.0, 1.0))
+    cfg = AmrConfig(max_level=max_level, blocking_factor=8, max_grid_size=32,
+                    n_error_buf=1)
+    comm = Communicator(nranks, ranks_per_node=1)
+    return TrackingAmr(geom0, cfg, comm, **kw)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        AmrConfig(max_level=-1)
+    with pytest.raises(ValueError):
+        AmrConfig(max_grid_size=100, blocking_factor=8)
+    with pytest.raises(ValueError):
+        AmrConfig(ref_ratio=1)
+
+
+def test_init_from_scratch_builds_hierarchy():
+    amr = make_amr()
+    amr.init_from_scratch()
+    assert amr.finest_level == 2
+    assert ("scratch", 0) in amr.events
+    assert ("from_coarse", 1) in amr.events
+    assert ("from_coarse", 2) in amr.events
+    # geometries refine by 2 each level
+    assert amr.geoms[1].domain.size()[0] == 128
+    assert amr.geoms[2].domain.size()[0] == 256
+
+
+def test_fine_levels_cover_feature():
+    amr = make_amr()
+    amr.init_from_scratch()
+    ba1 = amr.box_arrays[1]
+    # the feature at level-0 (13..19)^2 refines to level-1 (26..39)^2
+    assert ba1.contains(Box((26, 26), (39, 39)))
+    # level 1 grids are far smaller than the full refined domain
+    assert ba1.num_pts() < amr.geoms[1].domain.num_pts() // 4
+
+
+def test_proper_nesting():
+    amr = make_amr()
+    amr.init_from_scratch()
+    ba1 = amr.box_arrays[1]
+    ba2 = amr.box_arrays[2]
+    # every level-2 box, coarsened to level 1, must be covered by level 1
+    for b in ba2:
+        assert ba1.contains(b.coarsen(2))
+
+
+def test_regrid_noop_when_unchanged():
+    amr = make_amr()
+    amr.init_from_scratch()
+    amr.events.clear()
+    changed = amr.regrid()
+    assert not changed
+    assert amr.events == []
+
+
+def test_regrid_tracks_moving_feature():
+    amr = make_amr()
+    amr.init_from_scratch()
+    old_ba1 = amr.box_arrays[1]
+    amr.feature_center = [40, 40]
+    changed = amr.regrid()
+    assert changed
+    assert amr.box_arrays[1] != old_ba1
+    assert ("remake", 1) in amr.events
+    assert amr.box_arrays[1].contains(Box((74, 74), (86, 86)))
+
+
+def test_regrid_drops_levels_when_tags_vanish():
+    amr = make_amr()
+    amr.init_from_scratch()
+
+    amr.error_est = lambda lev: np.empty((0, 2), dtype=np.int64)
+    changed = amr.regrid()
+    assert changed
+    assert amr.finest_level == 0
+    assert ("clear", 2) in amr.events
+    assert ("clear", 1) in amr.events
+
+
+def test_regrid_records_metadata_traffic():
+    amr = make_amr(nranks=4)
+    amr.init_from_scratch()
+    amr.comm.ledger.clear()
+    amr.feature_center = [44, 20]
+    amr.regrid()
+    assert amr.comm.ledger.total_bytes("regrid") > 0
+
+
+def test_amr_savings_in_paper_range():
+    """A localized feature yields large point savings vs uniform fine grid."""
+    amr = make_amr()
+    amr.init_from_scratch()
+    savings = amr.amr_savings()
+    assert 0.5 < savings < 1.0
+
+
+def test_num_active_pts():
+    amr = make_amr(max_level=0)
+    amr.init_from_scratch()
+    assert amr.num_active_pts() == 64 * 64
+    assert amr.amr_savings() == 0.0
+
+
+def test_optimal_regrid_interval():
+    # 16-cell patches, CFL 0.8: feature crosses half width in ~8.75 steps
+    assert optimal_regrid_interval(16, 0.8, n_error_buf=1) == 8
+    assert optimal_regrid_interval(4, 1.0) == 1
+    with pytest.raises(ValueError):
+        optimal_regrid_interval(8, 0.0)

@@ -1,0 +1,103 @@
+"""Tests for AverageDown restriction."""
+
+import numpy as np
+import pytest
+
+from repro.amr.average_down import _block_mean, average_down
+from repro.amr.box import Box
+from repro.amr.boxarray import BoxArray
+from repro.amr.distribution import DistributionMapping
+from repro.amr.multifab import MultiFab
+from repro.mpi.comm import Communicator
+
+
+def two_level(ncomp=1, nranks=2):
+    comm = Communicator(nranks, ranks_per_node=1)
+    ba_c = BoxArray.from_domain(Box((0, 0), (15, 15)), 8, 8)
+    ba_f = BoxArray([Box((8, 8), (23, 23))])  # covers coarse (4,4)-(11,11)
+    crse = MultiFab(ba_c, DistributionMapping.make(ba_c, nranks), ncomp, 0, comm)
+    fine = MultiFab(ba_f, DistributionMapping.make(ba_f, nranks), ncomp, 0, comm)
+    return fine, crse
+
+
+def test_block_mean():
+    arr = np.arange(16, dtype=float).reshape(1, 4, 4)
+    from repro.amr.intvect import IntVect
+
+    out = _block_mean(arr, IntVect(2, 2))
+    assert out.shape == (1, 2, 2)
+    assert out[0, 0, 0] == pytest.approx((0 + 1 + 4 + 5) / 4)
+
+
+def test_average_down_constant():
+    fine, crse = two_level()
+    fine.set_val(4.0)
+    crse.set_val(1.0)
+    average_down(fine, crse, 2)
+    # covered coarse cells become 4, uncovered stay 1
+    assert crse.fab(0).valid()[0, 0, 0] == 1.0  # coarse (0,0) uncovered
+    # coarse cell (4,4) covered by fine box
+    covered = [f.view(Box((4, 4), (4, 4)))[0, 0, 0]
+               for i, f in crse if f.box.contains(Box((4, 4), (4, 4)))]
+    assert covered == [4.0]
+
+
+def test_average_down_is_exact_mean():
+    fine, crse = two_level()
+    rng = np.random.default_rng(7)
+    fine.fab(0).valid()[0] = rng.random((16, 16))
+    average_down(fine, crse, 2)
+    fv = fine.fab(0).valid()[0]
+    expected = fv.reshape(8, 2, 8, 2).mean(axis=(1, 3))
+    # coarse cells (4,4)-(11,11) spread over the 4 coarse boxes
+    for i, cfab in crse:
+        overlap = cfab.box.intersect(Box((4, 4), (11, 11)))
+        if overlap.is_empty():
+            continue
+        got = cfab.view(overlap)[0]
+        sl = tuple(slice(l - 4, h - 4 + 1) for l, h in zip(overlap.lo, overlap.hi))
+        assert np.allclose(got, expected[sl])
+
+
+def test_preserves_linear_fields():
+    """Averaging a linear field gives the coarse-cell-centered value."""
+    fine, crse = two_level()
+    ffab = fine.fab(0)
+    ii = np.arange(8, 24)[:, None] + 0.5
+    jj = np.arange(8, 24)[None, :] + 0.5
+    ffab.valid()[0] = ii + 2 * jj  # linear in fine index space
+    average_down(fine, crse, 2)
+    # coarse cell (4,4): fine center average = ((8.5+9.5)/2, same j) -> 9, 9
+    for i, cfab in crse:
+        if cfab.box.contains(Box((4, 4), (4, 4))):
+            assert cfab.view(Box((4, 4), (4, 4)))[0, 0, 0] == pytest.approx(9 + 2 * 9)
+
+
+def test_traffic_recorded():
+    fine, crse = two_level(nranks=2)
+    fine.comm.ledger.clear()
+    average_down(fine, crse, 2)
+    assert fine.comm.ledger.total_bytes("averagedown") > 0
+
+
+def test_component_mismatch():
+    fine, crse = two_level(ncomp=2)
+    bad = MultiFab(crse.ba, crse.dm, 1, 0, crse.comm)
+    with pytest.raises(ValueError):
+        average_down(fine, bad, 2)
+
+
+def test_misaligned_fine_box_trimmed():
+    """A fine box not ratio-aligned only updates fully-covered coarse cells."""
+    comm = Communicator(1, ranks_per_node=1)
+    ba_c = BoxArray.from_domain(Box((0, 0), (7, 7)), 8, 8)
+    ba_f = BoxArray([Box((3, 3), (10, 10))])  # odd lo: partially covers cells
+    crse = MultiFab(ba_c, DistributionMapping.make(ba_c, 1), 1, 0, comm)
+    fine = MultiFab(ba_f, DistributionMapping.make(ba_f, 1), 1, 0, comm)
+    fine.set_val(9.0)
+    crse.set_val(1.0)
+    average_down(fine, crse, 2)
+    # coarse (1,1) is only partially covered (fine 3..3 of 2..3) -> untouched
+    assert crse.fab(0).view(Box((1, 1), (1, 1)))[0, 0, 0] == 1.0
+    # coarse (2,2) fully covered -> 9
+    assert crse.fab(0).view(Box((2, 2), (2, 2)))[0, 0, 0] == 9.0

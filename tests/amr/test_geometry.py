@@ -1,0 +1,83 @@
+"""Tests for the Geometry (domain / periodicity / refinement) class."""
+
+import numpy as np
+import pytest
+
+from repro.amr.box import Box
+from repro.amr.geometry import Geometry
+from repro.amr.intvect import IntVect
+
+
+def make(periodic=(False, False)):
+    return Geometry(Box((0, 0), (31, 15)), (0.0, -1.0), (2.0, 1.0), periodic)
+
+
+def test_basic_properties():
+    g = make()
+    assert g.dim == 2
+    assert g.cell_size() == (2.0 / 32, 2.0 / 16)
+    centers = g.cell_centers(1)
+    assert len(centers) == 16
+    assert centers[0] == pytest.approx(-1.0 + 0.5 * 2.0 / 16)
+    assert centers[-1] == pytest.approx(1.0 - 0.5 * 2.0 / 16)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        Geometry(Box((0, 0), (7, 7)), (0.0,), (1.0, 1.0))
+    with pytest.raises(ValueError):
+        Geometry(Box((0, 0), (7, 7)), (0.0, 0.0), (0.0, 1.0))  # zero extent
+    with pytest.raises(ValueError):
+        Geometry(Box((0, 0), (7, 7)), (0.0, 0.0), (1.0, 1.0), (True,))
+
+
+def test_refine_preserves_physical_extent():
+    g = make()
+    f = g.refine(2)
+    assert f.domain.size() == (64, 32)
+    assert f.prob_lo == g.prob_lo
+    assert f.prob_hi == g.prob_hi
+    assert f.cell_size()[0] == pytest.approx(g.cell_size()[0] / 2)
+    assert f.periodic == g.periodic
+
+
+def test_coarsen_and_divisibility():
+    g = make()
+    c = g.coarsen(2)
+    assert c.domain.size() == (16, 8)
+    assert c.refine(2).domain == g.domain
+    bad = Geometry(Box((0, 0), (30, 15)), (0.0, 0.0), (1.0, 1.0))
+    with pytest.raises(ValueError):
+        bad.coarsen(4)  # 31 cells not divisible
+
+
+def test_periodic_shifts_non_periodic():
+    g = make(periodic=(False, False))
+    assert g.periodic_shifts(Box((-2, 0), (3, 3))) == []
+
+
+def test_periodic_shifts_single_direction():
+    g = make(periodic=(True, False))
+    shifts = g.periodic_shifts(Box((-2, 0), (33, 3)))
+    tups = {s.tup() for s in shifts}
+    assert (32, 0) in tups
+    assert (-32, 0) in tups
+    # no y shifts, no zero shift
+    assert all(s[1] == 0 for s in shifts)
+    assert (0, 0) not in tups
+
+
+def test_periodic_shifts_two_directions_include_diagonals():
+    g = make(periodic=(True, True))
+    shifts = {s.tup() for s in g.periodic_shifts(Box((-1, -1), (32, 16)))}
+    # face shifts
+    assert (32, 0) in shifts and (0, 16) in shifts
+    # corner (diagonal) shifts for corner ghost wrap
+    assert (32, 16) in shifts and (-32, -16) in shifts
+    assert len(shifts) == 8
+
+
+def test_geometry_repr_roundtrip_info():
+    g = make((True, False))
+    text = repr(g)
+    assert "periodic=(True, False)" in text

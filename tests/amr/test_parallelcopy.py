@@ -1,0 +1,81 @@
+"""Tests for ParallelCopy global redistribution."""
+
+import numpy as np
+import pytest
+
+from repro.amr.box import Box
+from repro.amr.boxarray import BoxArray
+from repro.amr.distribution import DistributionMapping
+from repro.amr.multifab import MultiFab
+from repro.mpi.comm import Communicator
+
+
+def test_redistribution_between_layouts():
+    domain = Box((0, 0), (31, 31))
+    comm = Communicator(4, ranks_per_node=2)
+    ba_src = BoxArray.from_domain(domain, 16, 8)
+    ba_dst = BoxArray.from_domain(domain, 8, 8)
+    src = MultiFab(ba_src, DistributionMapping.make(ba_src, 4), 1, 0, comm)
+    dst = MultiFab(ba_dst, DistributionMapping.make(ba_dst, 4), 1, 0, comm)
+    for i, fab in src:
+        fab.valid()[...] = float(i + 1)
+    dst.parallel_copy(src)
+    # every dst cell must equal the src box value covering it
+    for i, fab in dst:
+        center = fab.box.lo
+        covering = [j for j, b in enumerate(ba_src) if b.contains(center)]
+        assert len(covering) == 1
+        assert fab.valid()[0, 0, 0] == float(covering[0] + 1)
+
+
+def test_fill_ghosts_mode():
+    domain = Box((0, 0), (15, 15))
+    comm = Communicator(2, ranks_per_node=1)
+    ba = BoxArray.from_domain(domain, 8, 8)
+    src = MultiFab(ba, DistributionMapping.make(ba, 2), 1, 0, comm)
+    dst = MultiFab(ba, DistributionMapping.make(ba, 2), 1, 2, comm)
+    src.set_val(3.0)
+    dst.set_val(-1.0)
+    dst.parallel_copy(src, fill_ghosts=True)
+    fab = dst.fab(0)
+    # interior ghosts (covered by other src boxes) now filled
+    assert fab.view(Box((8, 0), (9, 7)))[0, 0, 0] == 3.0
+    # outside-domain ghosts untouched
+    assert fab.view(Box((-2, 0), (-1, 7)))[0, 0, 0] == -1.0
+
+
+def test_component_ranges():
+    domain = Box((0, 0), (7, 7))
+    comm = Communicator(1, ranks_per_node=1)
+    ba = BoxArray.from_domain(domain, 8, 8)
+    src = MultiFab(ba, DistributionMapping.make(ba, 1), 3, 0, comm)
+    dst = MultiFab(ba, DistributionMapping.make(ba, 1), 2, 0, comm)
+    src.fab(0).data[1] = 42.0
+    dst.parallel_copy(src, src_comp=1, dst_comp=0, ncomp=1)
+    assert dst.fab(0).data[0, 0, 0] == 42.0
+    assert dst.fab(0).data[1, 0, 0] == 0.0
+
+
+def test_component_out_of_bounds():
+    domain = Box((0, 0), (7, 7))
+    comm = Communicator(1, ranks_per_node=1)
+    ba = BoxArray.from_domain(domain, 8, 8)
+    src = MultiFab(ba, DistributionMapping.make(ba, 1), 2, 0, comm)
+    dst = MultiFab(ba, DistributionMapping.make(ba, 1), 2, 0, comm)
+    with pytest.raises(ValueError):
+        dst.parallel_copy(src, src_comp=1, ncomp=2)
+
+
+def test_traffic_recorded_as_parallelcopy():
+    domain = Box((0, 0), (31, 31))
+    comm = Communicator(4, ranks_per_node=1)
+    ba_src = BoxArray.from_domain(domain, 16, 8)
+    ba_dst = BoxArray.from_domain(domain, 8, 8)
+    src = MultiFab(ba_src, DistributionMapping.make(ba_src, 4), 1, 0, comm)
+    dst = MultiFab(ba_dst, DistributionMapping.make(ba_dst, 4), 1, 0, comm)
+    comm.ledger.clear()
+    dst.parallel_copy(src)
+    total = comm.ledger.total_bytes("parallelcopy")
+    # every domain cell copied exactly once
+    assert total == domain.num_pts() * 8
+    assert comm.ledger.total_bytes("fillboundary") == 0

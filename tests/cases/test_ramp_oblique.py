@@ -1,0 +1,132 @@
+"""Tests for oblique-shock theory and the curvilinear compression ramp."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cases.oblique import ObliqueShock, beta_from_theta, theta_from_beta
+from repro.cases.ramp import CompressionRamp
+from repro.core.crocco import Crocco, CroccoConfig
+
+
+def test_beta_for_textbook_case():
+    """M=3, theta=15 deg: beta ~ 32.24 deg (NACA 1135 charts)."""
+    beta = beta_from_theta(math.radians(15.0), 3.0)
+    assert math.degrees(beta) == pytest.approx(32.24, abs=0.05)
+
+
+def test_theta_beta_roundtrip():
+    for mach in (1.5, 2.5, 5.0):
+        for theta_deg in (2.0, 8.0, 15.0):
+            try:
+                beta = beta_from_theta(math.radians(theta_deg), mach)
+            except ValueError:
+                continue  # detached at this Mach
+            back = theta_from_beta(beta, mach)
+            assert math.degrees(back) == pytest.approx(theta_deg, abs=1e-8)
+
+
+def test_detachment_raises():
+    with pytest.raises(ValueError):
+        beta_from_theta(math.radians(35.0), 2.0)  # theta_max(M=2) ~ 23 deg
+    with pytest.raises(ValueError):
+        beta_from_theta(math.radians(10.0), 0.8)  # subsonic
+    with pytest.raises(ValueError):
+        beta_from_theta(-0.1, 3.0)
+
+
+def test_oblique_jump_ratios_m3_15deg():
+    s = ObliqueShock(mach1=3.0, theta=math.radians(15.0))
+    assert s.pressure_ratio == pytest.approx(2.822, abs=0.01)
+    assert s.density_ratio == pytest.approx(2.032, abs=0.01)
+    assert s.mach2 == pytest.approx(2.255, abs=0.01)
+    assert s.mach2 < s.mach1
+
+
+def test_weak_vs_strong_branch():
+    theta = math.radians(10.0)
+    bw = beta_from_theta(theta, 3.0, weak=True)
+    bs = beta_from_theta(theta, 3.0, weak=False)
+    assert bw < bs
+
+
+def test_normal_shock_limit():
+    """beta -> 90 deg recovers the normal-shock pressure ratio."""
+    g = 1.4
+    m = 4.0
+    p_normal = (2 * g * m**2 - (g - 1)) / (g + 1)
+    # near-maximal deflection approaches the strong/normal limit
+    theta = theta_from_beta(math.radians(89.99), m)
+    s = ObliqueShock(mach1=m, theta=theta, gamma=g)
+    beta = beta_from_theta(theta, m, weak=False)
+    mn1 = m * math.sin(beta)
+    p_strong = (2 * g * mn1**2 - (g - 1)) / (g + 1)
+    assert p_strong == pytest.approx(p_normal, rel=1e-3)
+
+
+def test_ramp_case_setup():
+    case = CompressionRamp(ncells=(48, 24), mach=3.0, angle_deg=15.0)
+    t = case.theory()
+    assert t["beta_deg"] == pytest.approx(32.24, abs=0.05)
+    assert case.curvilinear
+    geom = case.geometry0()
+    coords = case.coordinates(geom, geom.domain)
+    # the first grid line rises along the ramp (cell centers sit half a
+    # cell above the wall itself)
+    wall_y = coords[1][:, 0]
+    assert wall_y[-1] - wall_y[0] > 0.2
+    assert wall_y[0] < 0.05
+
+
+def test_ramp_wall_bc_reflects_about_tangent():
+    """On the inclined wall, the ghost momentum mirrors about the tangent."""
+    case = CompressionRamp(ncells=(48, 24))
+    sim = Crocco(case, CroccoConfig(version="1.1", max_grid_size=48))
+    sim.initialize()
+    sim._bc_fill(0)
+    mf = sim.state[0]
+    lay = case.layout
+    for i, fab in mf:
+        if fab.box.lo[1] != 0:
+            continue
+        coords = sim.coords[0].fab(i)
+        # pick a column on the ramp (x > corner)
+        cols = np.nonzero(coords.whole()[0][:, sim.ng] > 1.2)[0]
+        if len(cols) == 0:
+            continue
+        c = int(cols[len(cols) // 2])
+        g = sim.ng - 1  # first ghost row below the wall
+        m = sim.ng      # first interior row
+        mom_g = fab.whole()[lay.mom_slice, c, g]
+        mom_i = fab.whole()[lay.mom_slice, c, m]
+        # tangential reflection preserves |momentum|
+        assert np.linalg.norm(mom_g) == pytest.approx(np.linalg.norm(mom_i))
+        # and the normal component flips: (m_g + m_i) is tangent-aligned
+        x = coords.whole()[0][:, m]
+        y = coords.whole()[1][:, m]
+        t = np.array([np.gradient(x)[c], np.gradient(y)[c]])
+        t /= np.linalg.norm(t)
+        s = mom_g + mom_i
+        cross = s[0] * t[1] - s[1] * t[0]
+        assert abs(cross) < 1e-8 * (np.linalg.norm(s) + 1.0)
+
+
+def test_ramp_wall_pressure_approaches_oblique_theory():
+    """After a flow-through time the ramp pressure matches theta-beta-M."""
+    case = CompressionRamp(ncells=(64, 32), mach=3.0, angle_deg=15.0)
+    sim = Crocco(case, CroccoConfig(version="1.1", max_grid_size=64))
+    sim.initialize()
+    for _ in range(220):
+        sim.step()
+    lay = case.layout
+    samples = []
+    for i, fab in sim.state[0]:
+        coords = sim.coords[0].fab(i).valid()
+        p = case.eos.pressure(lay, fab.valid())
+        mask = (coords[0][:, 1] > 1.3) & (coords[0][:, 1] < 1.8)
+        if fab.box.lo[1] == 0 and mask.any():
+            samples.append(p[:, 1][mask])
+    pw = float(np.concatenate(samples).mean())
+    assert pw == pytest.approx(case.shock.pressure_ratio, rel=0.15)
+    assert not sim.state[0].contains_nan()

@@ -1,0 +1,117 @@
+"""Tests for the exact Riemann solver and shock-jump relations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cases.riemann import (
+    PrimitiveState,
+    normal_shock_jump,
+    sample,
+    star_state,
+)
+
+SOD_L = PrimitiveState(1.0, 0.0, 1.0)
+SOD_R = PrimitiveState(0.125, 0.0, 0.1)
+
+
+def test_sod_star_state_reference_values():
+    """Toro's book gives p* = 0.30313, u* = 0.92745 for the Sod problem."""
+    p, u = star_state(SOD_L, SOD_R)
+    assert p == pytest.approx(0.30313, abs=2e-5)
+    assert u == pytest.approx(0.92745, abs=2e-5)
+
+
+def test_sod_sampling_regions():
+    xi = np.array([-2.0, -0.5, 0.5, 1.0, 2.5])
+    rho, u, p = sample(SOD_L, SOD_R, xi)
+    # far left: undisturbed left state
+    assert rho[0] == pytest.approx(1.0)
+    # far right: undisturbed right state
+    assert rho[-1] == pytest.approx(0.125)
+    # between contact (u*=0.927) and shock (s~1.75): right star density
+    assert p[3] == pytest.approx(0.30313, abs=1e-4)
+    assert rho[3] == pytest.approx(0.26557, abs=1e-4)
+    # between rarefaction tail and contact: left star density
+    assert rho[2] == pytest.approx(0.42632, abs=1e-4)
+
+
+def test_sampling_is_continuous_across_rarefaction():
+    xi = np.linspace(-1.5, 0.0, 200)
+    rho, u, p = sample(SOD_L, SOD_R, xi)
+    assert np.abs(np.diff(rho)).max() < 0.02  # no jumps inside the fan
+
+
+def test_vacuum_detection():
+    left = PrimitiveState(1.0, -10.0, 0.01)
+    right = PrimitiveState(1.0, 10.0, 0.01)
+    with pytest.raises(ValueError):
+        star_state(left, right)
+
+
+def test_symmetric_problem_zero_contact_speed():
+    s = PrimitiveState(1.0, 0.0, 1.0)
+    p, u = star_state(s, s)
+    assert u == pytest.approx(0.0, abs=1e-12)
+    assert p == pytest.approx(1.0)
+
+
+def test_normal_shock_mach10_dmr_values():
+    """The DMR post-shock state: rho=8, p=116.5, u=8.25 for M=10, rho1=1.4."""
+    pre = PrimitiveState(rho=1.4, u=0.0, p=1.0)  # a1 = 1
+    post = normal_shock_jump(10.0, pre, gamma=1.4)
+    assert post.rho == pytest.approx(8.0, rel=1e-3)
+    assert post.p == pytest.approx(116.5, rel=1e-3)
+    assert post.u == pytest.approx(8.25, rel=1e-3)
+
+
+def test_normal_shock_strong_limit():
+    """rho2/rho1 -> (g+1)/(g-1) = 6 as M -> inf."""
+    pre = PrimitiveState(1.0, 0.0, 1.0)
+    post = normal_shock_jump(100.0, pre)
+    assert post.rho == pytest.approx(6.0, rel=1e-3)
+
+
+def test_normal_shock_requires_supersonic():
+    with pytest.raises(ValueError):
+        normal_shock_jump(0.9, PrimitiveState(1.0, 0.0, 1.0))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.floats(0.1, 5.0), st.floats(-1.0, 1.0), st.floats(0.1, 5.0),
+    st.floats(0.1, 5.0), st.floats(-1.0, 1.0), st.floats(0.1, 5.0),
+)
+def test_star_state_satisfies_jump_consistency(rl, ul, pl, rr, ur, pr):
+    """p* > 0 and the pressure function residual vanishes at the root."""
+    from repro.cases.riemann import _pressure_function
+
+    left = PrimitiveState(rl, ul, pl)
+    right = PrimitiveState(rr, ur, pr)
+    try:
+        ps, us = star_state(left, right)
+    except ValueError:
+        return  # vacuum-generating input: correctly rejected
+    assert ps > 0
+    fl, _ = _pressure_function(ps, left, 1.4)
+    fr, _ = _pressure_function(ps, right, 1.4)
+    assert abs(fl + fr + (right.u - left.u)) < 1e-7
+
+
+def test_rankine_hugoniot_mass_momentum_energy():
+    """The Mach-10 jump satisfies the RH relations in the shock frame."""
+    g = 1.4
+    pre = PrimitiveState(1.4, 0.0, 1.0)
+    post = normal_shock_jump(10.0, pre, g)
+    ws = 10.0  # shock speed (a1 = 1, pre at rest)
+    # shock-frame velocities
+    v1 = ws - pre.u
+    v2 = ws - post.u
+    assert pre.rho * v1 == pytest.approx(post.rho * v2, rel=1e-12)  # mass
+    assert pre.p + pre.rho * v1**2 == pytest.approx(
+        post.p + post.rho * v2**2, rel=1e-12
+    )  # momentum
+    h1 = g / (g - 1) * pre.p / pre.rho + 0.5 * v1**2
+    h2 = g / (g - 1) * post.p / post.rho + 0.5 * v2**2
+    assert h1 == pytest.approx(h2, rel=1e-12)  # enthalpy

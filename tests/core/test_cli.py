@@ -1,0 +1,103 @@
+"""Tests for the command-line driver."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_case, main
+from repro.io.inputs import InputDeck
+from repro.io.plotfile import read_plotfile_header
+
+
+def write_deck(tmp_path, text):
+    p = tmp_path / "inputs"
+    p.write_text(text)
+    return str(p)
+
+
+def test_build_case_variants():
+    assert build_case(InputDeck.parse("crocco.case = sod\namr.n_cell = 64")).name == "sod"
+    assert build_case(InputDeck.parse("crocco.case = vortex")).name == "vortex"
+    dmr = build_case(InputDeck.parse(
+        "crocco.case = dmr\namr.n_cell = 64 16\ncrocco.curvilinear = true"))
+    assert dmr.name == "dmr" and dmr.curvilinear
+    assert build_case(InputDeck.parse("crocco.case = ignition")).name == "ignition"
+    with pytest.raises(SystemExit):
+        build_case(InputDeck.parse("crocco.case = warp"))
+
+
+def test_cli_runs_sod_and_writes_plotfile(tmp_path, capsys):
+    deck = write_deck(tmp_path, """
+crocco.case = sod
+crocco.version = 1.1
+amr.n_cell = 64
+amr.max_grid_size = 64
+run.steps = 3
+run.report_every = 1
+""")
+    out_dir = tmp_path / "plt"
+    rc = main([deck, "--plotfile", str(out_dir)])
+    assert rc == 0
+    text = capsys.readouterr().out
+    assert "step     3" in text
+    assert "TinyProfiler" in text
+    header = read_plotfile_header(out_dir)
+    assert header["step"] == 3
+
+
+def test_cli_time_target(tmp_path, capsys):
+    deck = write_deck(tmp_path, """
+crocco.case = sod
+crocco.version = 1.1
+amr.n_cell = 32
+amr.max_grid_size = 32
+run.time = 1e-3
+run.report_every = 0
+""")
+    rc = main([deck])
+    assert rc == 0
+    out = capsys.readouterr().out
+    # the final progress line reports a time at/just past the target
+    import re
+
+    times = [float(m) for m in re.findall(r"t = ([0-9.e+-]+) ", out)]
+    assert times and times[-1] >= 1e-3
+
+
+def test_cli_step_override(tmp_path, capsys):
+    deck = write_deck(tmp_path, """
+crocco.case = vortex
+crocco.version = 2.1
+amr.n_cell = 32
+amr.max_grid_size = 32
+run.steps = 50
+""")
+    rc = main([deck, "--steps", "2"])
+    assert rc == 0
+    assert "step     2" in capsys.readouterr().out
+
+
+def test_cli_checkpoint_restart_cycle(tmp_path, capsys):
+    chk = tmp_path / "chk"
+    deck1 = write_deck(tmp_path, f"""
+crocco.case = sod
+crocco.version = 1.1
+amr.n_cell = 32
+amr.max_grid_size = 32
+run.steps = 2
+run.report_every = 0
+run.checkpoint = {chk}
+""")
+    assert main([deck1]) == 0
+    deck2 = write_deck(tmp_path, f"""
+crocco.case = sod
+crocco.version = 1.1
+amr.n_cell = 32
+amr.max_grid_size = 32
+run.steps = 4
+run.report_every = 0
+run.restart = {chk}
+""")
+    assert main([deck2]) == 0
+    out = capsys.readouterr().out
+    assert "restarted from" in out
+    assert "step     4" in out

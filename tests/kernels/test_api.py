@@ -1,0 +1,139 @@
+"""Tests for the kernel backend API (fortran/cpp/gpu)."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.api import BACKENDS, KernelSet, make_backend
+from repro.kernels.device import DeviceMemoryError, GpuDevice
+from repro.numerics.eos import IdealGasEOS
+from repro.numerics.metrics import CartesianMetrics
+from repro.numerics.state import StateLayout
+from repro.numerics.viscous import ViscousFlux, constant_viscosity
+
+NG = 4
+EOS = IdealGasEOS()
+LAY = StateLayout(dim=2)
+
+
+def smooth_state(n=24, ng=NG, seed=0):
+    rng = np.random.default_rng(seed)
+    ntot = n + 2 * ng
+    x = ((np.arange(-ng, n + ng) % n) + 0.5) / n
+    xx, yy = np.meshgrid(x, x, indexing="ij")
+    rho = 1.0 + 0.2 * np.sin(2 * np.pi * xx) * np.cos(2 * np.pi * yy)
+    vel = np.stack([0.3 + 0.1 * np.sin(2 * np.pi * yy),
+                    -0.2 + 0.1 * np.cos(2 * np.pi * xx)])
+    p = 1.0 + 0.1 * np.cos(2 * np.pi * xx)
+    return EOS.conservative(LAY, rho, vel, p)
+
+
+def test_make_backend_validation():
+    with pytest.raises(ValueError):
+        make_backend("cuda", LAY, EOS)
+
+
+def test_gpu_backend_gets_default_device():
+    ks = make_backend("gpu", LAY, EOS)
+    assert ks.device is not None
+    assert ks.on_gpu
+
+
+def test_rhs_shapes_all_backends():
+    u = smooth_state()
+    met = CartesianMetrics((1.0 / 24, 1.0 / 24))
+    for b in BACKENDS:
+        ks = make_backend(b, LAY, EOS,
+                          viscous=ViscousFlux(constant_viscosity(1e-3)))
+        rhs = ks.rhs(u.copy(), met, NG)
+        assert rhs.shape == (4, 24, 24)
+        assert np.isfinite(rhs).all()
+
+
+def test_fortran_cpp_drift_small_but_generally_nonzero():
+    """Backends agree to near machine precision but not bit-exactly."""
+    u = smooth_state()
+    met = CartesianMetrics((1.0 / 24, 1.0 / 24))
+    rf = make_backend("fortran", LAY, EOS).rhs(u.copy(), met, NG)
+    rc = make_backend("cpp", LAY, EOS).rhs(u.copy(), met, NG)
+    diff = np.abs(rf - rc)
+    scale = np.abs(rf).max()
+    assert diff.max() < 1e-10 * max(scale, 1.0)  # tiny
+    assert diff.max() > 0.0  # but real: different accumulation order
+
+
+def test_gpu_matches_cpp_exactly():
+    """The paper reports no accuracy change moving C++ kernels to GPU."""
+    u = smooth_state()
+    met = CartesianMetrics((1.0 / 24, 1.0 / 24))
+    rc = make_backend("cpp", LAY, EOS).rhs(u.copy(), met, NG)
+    rg = make_backend("gpu", LAY, EOS).rhs(u.copy(), met, NG)
+    assert np.array_equal(rc, rg)
+
+
+def test_gpu_launch_records():
+    u = smooth_state()
+    met = CartesianMetrics((1.0 / 24, 1.0 / 24))
+    ks = make_backend("gpu", LAY, EOS,
+                      viscous=ViscousFlux(constant_viscosity(1e-3)))
+    ks.rhs(u.copy(), met, NG)
+    kernels = ks.device.launches_by_kernel()
+    assert set(kernels) == {"WENOx", "WENOy", "Viscous"}
+    assert kernels["WENOx"][0].npoints == 24 * 24
+
+
+def test_gpu_scratch_freed_after_rhs():
+    u = smooth_state()
+    met = CartesianMetrics((1.0 / 24, 1.0 / 24))
+    ks = make_backend("gpu", LAY, EOS)
+    ks.rhs(u.copy(), met, NG)
+    assert ks.device.bytes_in_use == 0
+    assert ks.device.high_water > 0
+
+
+def test_gpu_memory_limit_on_big_patch():
+    dev = GpuDevice(memory_bytes=10_000)
+    ks = make_backend("gpu", LAY, EOS, device=dev)
+    u = smooth_state(n=32)
+    met = CartesianMetrics((1.0 / 32, 1.0 / 32))
+    with pytest.raises(DeviceMemoryError):
+        ks.rhs(u, met, NG)
+
+
+def test_update_kernel_all_backends():
+    for b in BACKENDS:
+        ks = make_backend(b, LAY, EOS)
+        u = np.ones((4, 8, 8))
+        du = np.zeros_like(u)
+        rhs = np.full_like(u, 3.0)
+        ks.update(u, du, rhs, dt=0.1, stage=0)
+        assert np.allclose(u, 1.0 + 0.3 / 3.0)
+        if b == "gpu":
+            assert ks.device.launches[-1].name == "Update"
+
+
+def test_max_rate_matches_across_backends():
+    u = smooth_state()
+    met = CartesianMetrics((1.0 / 24, 1.0 / 24))
+    rates = {b: make_backend(b, LAY, EOS).max_rate(u, met) for b in BACKENDS}
+    assert rates["fortran"] == pytest.approx(rates["cpp"])
+    assert rates["cpp"] == pytest.approx(rates["gpu"])
+    ks = make_backend("gpu", LAY, EOS)
+    ks.max_rate(u, met)
+    assert ks.device.launches[-1].name == "ComputeDt"
+
+
+def test_register_state_residency():
+    ks = make_backend("gpu", LAY, EOS)
+    h = ks.register_state(1024)
+    assert ks.device.bytes_in_use == 1024
+    h.free()
+    assert ks.device.bytes_in_use == 0
+    assert make_backend("cpp", LAY, EOS).register_state(1024) is None
+
+
+def test_nghost_accounts_for_operators():
+    ks = make_backend("cpp", LAY, EOS)
+    assert ks.nghost == 4  # weno: 3 + 1
+    ks2 = make_backend("cpp", LAY, EOS,
+                       viscous=ViscousFlux(constant_viscosity(1e-3)))
+    assert ks2.nghost == 4  # viscous 4th order needs 4

@@ -1,0 +1,104 @@
+"""Tests for the Smagorinsky SGS model (LES mode)."""
+
+import numpy as np
+import pytest
+
+from repro.numerics.eos import IdealGasEOS
+from repro.numerics.metrics import CartesianMetrics
+from repro.numerics.sgs import LesViscousFlux, Smagorinsky
+from repro.numerics.state import StateLayout
+from repro.numerics.viscous import ViscousFlux, constant_viscosity
+
+EOS = IdealGasEOS()
+LAY = StateLayout(dim=2)
+NG = 4
+
+
+def shear_state(n=32, ng=NG, amp=0.3):
+    x = ((np.arange(-ng, n + ng) % n) + 0.5) / n
+    ntot = n + 2 * ng
+    ux = amp * np.sin(2 * np.pi * x)[None, :] * np.ones((ntot, 1))
+    vel = np.stack([ux, np.zeros_like(ux)])
+    return EOS.conservative(LAY, np.ones((ntot, ntot)), vel,
+                            np.full((ntot, ntot), 5.0))
+
+
+def test_strain_magnitude_of_pure_shear():
+    """u = (A sin(2 pi y), 0): |S| = |du/dy| = |2 pi A cos(2 pi y)|."""
+    n = 64
+    u = shear_state(n)
+    met = CartesianMetrics((1.0 / n, 1.0 / n))
+    model = Smagorinsky()
+    s = model.strain_magnitude(LAY, u, met)
+    y = ((np.arange(-NG, n + NG) % n) + 0.5) / n
+    expected = np.abs(0.3 * 2 * np.pi * np.cos(2 * np.pi * y))
+    # interior cells only (edge stencils are lower order)
+    assert np.allclose(s[NG + 2, NG + 2:-NG - 2],
+                       expected[NG + 2:-NG - 2], rtol=2e-2, atol=1e-3)
+
+
+def test_eddy_viscosity_zero_for_uniform_flow():
+    n = 16
+    shape = (n + 2 * NG, n + 2 * NG)
+    u = EOS.conservative(LAY, np.ones(shape),
+                         np.stack([np.full(shape, 1.0), np.full(shape, 2.0)]),
+                         np.ones(shape))
+    met = CartesianMetrics((1.0 / n, 1.0 / n))
+    mu_t = Smagorinsky().eddy_viscosity(LAY, u, met)
+    assert np.abs(mu_t).max() < 1e-12
+
+
+def test_eddy_viscosity_scales_with_filter_width():
+    """mu_t ~ Delta^2 at fixed |S|: refine the grid, mu_t drops 4x."""
+    model = Smagorinsky()
+    vals = {}
+    for n in (32, 64):
+        u = shear_state(n)
+        met = CartesianMetrics((1.0 / n, 1.0 / n))
+        mu_t = model.eddy_viscosity(LAY, u, met)
+        # peak value: |S|_max = 2 pi A on both grids, so mu_t_max ~ Delta^2
+        vals[n] = float(mu_t[NG:-NG, NG:-NG].max())
+    assert vals[32] / vals[64] == pytest.approx(4.0, rel=0.1)
+
+
+def test_les_flux_more_dissipative_than_molecular():
+    """The SGS closure adds dissipation to a sheared flow."""
+    n = 32
+    u = shear_state(n)
+    met = CartesianMetrics((1.0 / n, 1.0 / n))
+    mol = ViscousFlux(constant_viscosity(1e-4))
+    les = LesViscousFlux(constant_viscosity(1e-4))
+    rhs_mol = mol.divergence(LAY, EOS, u, met, NG)
+    rhs_les = les.divergence(LAY, EOS, u, met, NG)
+    vel = LAY.velocity(u)[:, NG:-NG, NG:-NG]
+
+    def ke_rate(rhs):
+        return float((vel[0] * rhs[LAY.mom(0)] + vel[1] * rhs[LAY.mom(1)]).sum())
+
+    assert ke_rate(rhs_les) < ke_rate(rhs_mol) < 0.0
+    # mu_fn restored afterwards (no leakage of the effective viscosity)
+    assert les.mu_fn(np.array([300.0]))[0] == pytest.approx(1e-4)
+
+
+def test_les_flux_reduces_to_molecular_when_cs_zero():
+    n = 32
+    u = shear_state(n)
+    met = CartesianMetrics((1.0 / n, 1.0 / n))
+    mol = ViscousFlux(constant_viscosity(1e-4))
+    les = LesViscousFlux(constant_viscosity(1e-4), model=Smagorinsky(cs=0.0))
+    assert np.allclose(mol.divergence(LAY, EOS, u, met, NG),
+                       les.divergence(LAY, EOS, u, met, NG))
+
+
+def test_max_ratio_clipping():
+    """Extreme strain cannot push mu_t beyond max_ratio * mu."""
+    n = 32
+    u = shear_state(n, amp=100.0)  # violent shear
+    met = CartesianMetrics((1.0 / n, 1.0 / n))
+    model = Smagorinsky(max_ratio=10.0)
+    les = LesViscousFlux(constant_viscosity(1e-6), model=model)
+    # run through divergence; the clipped effective viscosity is finite
+    rhs = les.divergence(LAY, EOS, u, met, NG)
+    assert np.isfinite(rhs).all()
+    mu_t = model.eddy_viscosity(LAY, u, met)
+    assert mu_t.max() > 10.0 * 1e-6  # unclipped value would exceed the cap

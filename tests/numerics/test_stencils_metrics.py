@@ -1,0 +1,194 @@
+"""Tests for central stencils and curvilinear metrics."""
+
+import numpy as np
+import pytest
+
+from repro.numerics.metrics import (
+    CartesianMetrics,
+    CurvilinearMetrics,
+    derivative_same_shape,
+)
+from repro.numerics.stencils import central_derivative, stencil_radius
+
+
+def test_stencil_radius():
+    assert stencil_radius(2) == 1
+    assert stencil_radius(4) == 2
+    assert stencil_radius(6) == 3
+    assert stencil_radius(4, derivative=2) == 2
+
+
+def test_central_derivative_polynomial_exactness():
+    x = np.linspace(0, 1, 33)
+    h = x[1] - x[0]
+    # 4th-order stencil is exact on quartics for d/dx
+    v = x**4 - 2 * x**2 + 3
+    d = central_derivative(v, axis=0, spacing=h, order=4)
+    expected = 4 * x[2:-2] ** 3 - 4 * x[2:-2]
+    assert np.allclose(d, expected, atol=1e-10)
+
+
+def test_central_derivative_order_of_accuracy():
+    errs = []
+    for n in (32, 64):
+        x = (np.arange(n) + 0.5) / n
+        v = np.sin(2 * np.pi * x)
+        d = central_derivative(v, axis=0, spacing=1.0 / n, order=4)
+        exact = 2 * np.pi * np.cos(2 * np.pi * x[2:-2])
+        errs.append(np.abs(d - exact).max())
+    assert np.log2(errs[0] / errs[1]) > 3.7
+
+
+def test_central_second_derivative():
+    x = np.linspace(0, 1, 41)
+    h = x[1] - x[0]
+    v = x**3
+    d2 = central_derivative(v, axis=0, spacing=h, order=4, derivative=2)
+    assert np.allclose(d2, 6 * x[2:-2], atol=1e-9)
+
+
+def test_central_derivative_axis_handling():
+    rng = np.random.default_rng(0)
+    v = rng.normal(size=(5, 20))
+    d = central_derivative(v, axis=1, order=4)
+    assert d.shape == (5, 16)
+
+
+def test_central_derivative_errors():
+    with pytest.raises(ValueError):
+        central_derivative(np.zeros(3), axis=0, order=4)
+    with pytest.raises(ValueError):
+        central_derivative(np.zeros(10), axis=0, order=8)
+
+
+def test_derivative_same_shape_matches_interior():
+    x = np.linspace(0, 1, 30)
+    v = np.sin(3 * x)
+    d_full = derivative_same_shape(v, axis=0, order=4)
+    d_int = central_derivative(v, axis=0, order=4)
+    assert d_full.shape == v.shape
+    assert np.allclose(d_full[2:-2], d_int)
+
+
+def test_derivative_same_shape_edges_reasonable():
+    x = np.linspace(0, 1, 30)
+    h = x[1] - x[0]
+    v = x**2
+    d = derivative_same_shape(v, axis=0, order=4) / h
+    assert np.allclose(d, 2 * x, atol=1e-8)  # exact for quadratics even one-sided
+
+
+def test_cartesian_metrics():
+    m = CartesianMetrics((0.5, 0.25, 2.0))
+    assert m.jacobian().flat[0] == pytest.approx(0.25)
+    mx = m.m(0)
+    assert mx[0].flat[0] == pytest.approx(0.25 / 0.5)
+    assert mx[1].flat[0] == 0.0
+    with pytest.raises(ValueError):
+        CartesianMetrics((1.0, 0.0))
+
+
+def test_curvilinear_affine_mapping_exact():
+    """x = A xi + b gives constant first metrics equal to A and J = det(A)."""
+    A = np.array([[2.0, 0.5], [0.0, 1.5]])
+    n = 12
+    ii, jj = np.meshgrid(np.arange(n) + 0.5, np.arange(n) + 0.5, indexing="ij")
+    coords = np.stack([A[0, 0] * ii + A[0, 1] * jj, A[1, 0] * ii + A[1, 1] * jj])
+    met = CurvilinearMetrics.from_coordinates(coords)
+    assert np.allclose(met.jacobian(), np.linalg.det(A))
+    assert np.allclose(met.first[0, 0], A[0, 0])
+    assert np.allclose(met.first[0, 1], A[0, 1])
+    # m_d = J * row d of A^{-1}
+    Ainv = np.linalg.inv(A)
+    for d in range(2):
+        for j in range(2):
+            assert np.allclose(met.m(d)[j], np.linalg.det(A) * Ainv[d, j])
+    # second derivatives vanish for affine maps
+    assert np.allclose(met.second, 0.0, atol=1e-10)
+
+
+def test_curvilinear_component_count_3d():
+    """The paper's 27 stored components: 9 first + 18 second derivatives."""
+    n = 8
+    g = np.meshgrid(*[np.arange(n) + 0.5] * 3, indexing="ij")
+    coords = np.stack([g[0] * 1.0, g[1] * 1.0, g[2] * 1.0])
+    met = CurvilinearMetrics.from_coordinates(coords)
+    assert met.ncomp_stored == 27
+    assert met.pack().shape == (27, n, n, n)
+
+
+def test_curvilinear_stretched_grid_metrics():
+    """Smoothly stretched 1D-like grid: J matches analytic dx/dxi."""
+    n = 64
+    i = np.arange(n) + 0.5
+    j = np.arange(8) + 0.5
+    ii, jj = np.meshgrid(i, j, indexing="ij")
+    # x = sinh(alpha i / n) scaled; y uniform
+    alpha = 2.0
+    x = np.sinh(alpha * ii / n) / np.sinh(alpha)
+    y = jj / 8.0
+    met = CurvilinearMetrics.from_coordinates(np.stack([x, y]))
+    dxdi_exact = (alpha / n) * np.cosh(alpha * ii / n) / np.sinh(alpha)
+    # interior cells only (edges are lower order)
+    sl = (slice(4, -4), slice(2, -2))
+    assert np.allclose(met.first[0, 0][sl], dxdi_exact[sl], rtol=1e-5)
+    assert np.allclose(met.jacobian()[sl], dxdi_exact[sl] / 8.0, rtol=1e-5)
+
+
+def test_curvilinear_gcl_residual_small():
+    n = 32
+    ii, jj = np.meshgrid(np.arange(n) + 0.5, np.arange(n) + 0.5, indexing="ij")
+    x = ii + 0.1 * np.sin(2 * np.pi * jj / n) * n / (2 * np.pi)
+    y = jj + 0.1 * np.sin(2 * np.pi * ii / n) * n / (2 * np.pi)
+    met = CurvilinearMetrics.from_coordinates(np.stack([x, y]))
+    res = met.gcl_residual()
+    interior = (slice(None), slice(4, -4), slice(4, -4))
+    # metric identities hold to discretization error
+    assert np.abs(res[interior]).max() < 1e-3
+
+
+def test_curvilinear_rejects_folded_grid():
+    n = 8
+    ii, jj = np.meshgrid(np.arange(n, 0, -1) + 0.5, np.arange(n) + 0.5,
+                         indexing="ij")
+    with pytest.raises(ValueError):
+        CurvilinearMetrics.from_coordinates(np.stack([ii * 1.0, jj * 1.0]))
+
+
+def test_curvilinear_shape_validation():
+    with pytest.raises(ValueError):
+        CurvilinearMetrics.from_coordinates(np.zeros((2, 5)))
+
+
+def test_grid_quality_uniform_grid():
+    from repro.numerics.metrics import grid_quality
+
+    n = 16
+    g = np.meshgrid(np.arange(n) + 0.5, (np.arange(n) + 0.5) * 2.0,
+                    indexing="ij")
+    met = CurvilinearMetrics.from_coordinates(np.stack(g).astype(float))
+    q = grid_quality(met)
+    assert q["max_skewness"] == pytest.approx(0.0, abs=1e-12)
+    assert q["max_stretching"] == pytest.approx(0.0, abs=1e-10)
+    assert q["max_aspect_ratio"] == pytest.approx(2.0)
+    assert q["jacobian_ratio"] == pytest.approx(1.0)
+
+
+def test_grid_quality_detects_stretching_and_skew():
+    from repro.cases.grids import compression_ramp_mapping, tanh_cluster_mapping
+    from repro.numerics.metrics import grid_quality
+
+    n = 32
+    s = np.stack(np.meshgrid((np.arange(n) + 0.5) / n,
+                             (np.arange(n) + 0.5) / n, indexing="ij"))
+    # wall clustering: strong stretching, no skew
+    met1 = CurvilinearMetrics.from_coordinates(
+        tanh_cluster_mapping((1.0, 1.0), beta=3.0)(s))
+    q1 = grid_quality(met1)
+    assert q1["max_stretching"] > 0.05
+    assert q1["max_skewness"] < 0.01
+    # ramp shear: skewed grid lines
+    met2 = CurvilinearMetrics.from_coordinates(
+        compression_ramp_mapping((2.0, 1.0), angle_deg=30.0)(s))
+    q2 = grid_quality(met2)
+    assert q2["max_skewness"] > 0.2

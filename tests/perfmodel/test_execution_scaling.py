@@ -1,0 +1,179 @@
+"""Tests for the iteration simulator and scaling drivers (small sizes)."""
+
+import numpy as np
+import pytest
+
+from repro.perfmodel.calibration import CAL
+from repro.perfmodel.decomposition import dmr_band_hierarchy
+from repro.perfmodel.execution import IterationBreakdown, simulate_iteration
+from repro.perfmodel.scaling import (
+    TABLE1,
+    speedup_series,
+    strong_scaling,
+    weak_scaling,
+    weak_scaling_efficiency,
+)
+
+SMALL = 2.0e7  # small enough for fast tests
+
+
+def sim(version, nodes, points=SMALL, amr=None):
+    from repro.core.versions import get_version
+
+    v = get_version(version)
+    nranks = CAL.spec.ranks_for(nodes, v.on_gpu)
+    rpn = CAL.spec.ranks_per_node(v.on_gpu)
+    levels = dmr_band_hierarchy(points, nranks, rpn, v.amr, CAL)
+    return simulate_iteration(v, levels, nodes, CAL)
+
+
+def test_breakdown_structure():
+    bd = sim("2.1", 4)
+    d = bd.as_dict()
+    assert d["total"] == pytest.approx(bd.total)
+    assert bd.fillpatch == bd.fillboundary + bd.parallelcopy
+    assert bd.total > 0
+    for key in ("Advance", "FillPatch", "ComputeDt", "Regrid", "AverageDown"):
+        assert d[key] >= 0
+
+
+def test_non_amr_has_no_amr_regions():
+    bd = sim("1.1", 4)
+    assert bd.parallelcopy == 0.0
+    assert bd.regrid == 0.0
+    assert bd.averagedown == 0.0
+    assert bd.advance > 0
+    assert bd.fillboundary > 0
+
+
+def test_amr_faster_than_uniform_on_cpu_small_nodes():
+    """Fig. 5: at low node counts AMR wins on CPU despite overheads."""
+    t_uni = sim("1.1", 4).total
+    t_amr = sim("1.2", 4).total
+    speedup = t_uni / t_amr
+    assert 2.0 < speedup < 9.0  # paper: 4.6x at the lowest node count
+
+
+def test_gpu_much_faster_than_cpu_amr():
+    t_cpu = sim("1.2", 4).total
+    t_gpu = sim("2.0", 4).total
+    assert t_cpu / t_gpu > 8.0  # paper: up to 44x
+
+
+def test_20_slower_than_21():
+    """The curvilinear interpolator's extra ParallelCopy costs time."""
+    b20 = sim("2.0", 16)
+    b21 = sim("2.1", 16)
+    assert b20.parallelcopy > b21.parallelcopy
+    assert b20.total > b21.total
+
+
+def test_fillpatch_grows_with_nodes_weak_scaling():
+    """Fig. 6: FillPatch share rises across the weak-scaling series."""
+    per_node = 4.1e7
+    fp = []
+    adv = []
+    for nodes in (4, 16, 64):
+        bd = sim("2.1", nodes, points=per_node * nodes)
+        fp.append(bd.fillpatch)
+        adv.append(bd.advance)
+    assert fp[-1] > fp[0]  # communication grows
+    # compute stays roughly flat (weak scaling)
+    assert abs(adv[-1] - adv[0]) / adv[0] < 0.6
+
+
+def test_parallelcopy_grows_with_ranks():
+    """Fig. 7: the ParallelCopy part is what grows."""
+    per_node = 4.1e7
+    pc = [sim("2.1", n, points=per_node * n).parallelcopy for n in (4, 16, 64)]
+    assert pc[0] < pc[1] < pc[2]
+
+
+def test_gpu_memory_flag():
+    # tiny node count with a large problem: too many points per GPU
+    bd = sim("2.0", 1, points=5e8)
+    assert bd.exceeds_gpu_memory
+
+
+def test_table1_matches_paper():
+    assert TABLE1[0] == (4, 24, 1.64e8)
+    assert TABLE1[-1] == (1024, 6144, 4.19e10)
+    for nodes, gpus, _pts in TABLE1:
+        assert gpus == 6 * nodes
+    # near-linear problem-size-per-node across the series
+    per_node = [pts / n for n, _g, pts in TABLE1]
+    assert max(per_node) / min(per_node) < 1.05
+
+
+def test_strong_scaling_series_shapes():
+    ss = strong_scaling(versions=("1.1", "2.0"), nodes=(4, 16),
+                        points=SMALL)
+    t11 = [p.time_per_iteration for p in ss["1.1"]]
+    assert t11[1] < t11[0]  # CPU strong-scales at these sizes
+    assert all(p.nranks == p.nodes * 44 for p in ss["1.1"])
+    assert all(p.nranks == p.nodes * 6 for p in ss["2.0"])
+    sp = speedup_series(ss["1.1"], ss["2.0"])
+    assert all(s > 1 for s in sp)
+
+
+def test_weak_scaling_efficiency_drops():
+    table = tuple((n, 6 * n, 5e6 * n) for n in (4, 16, 64))
+    ws = weak_scaling(versions=("2.1",), table=table)
+    eff = weak_scaling_efficiency(ws["2.1"])
+    assert eff[0] == pytest.approx(1.0)
+    assert eff[-1] < 1.0  # efficiency loss at scale
+    assert all(e > 0.05 for e in eff)
+
+
+def test_speedup_series_validation():
+    ss = strong_scaling(versions=("1.1",), nodes=(4,), points=SMALL)
+    with pytest.raises(ValueError):
+        speedup_series(ss["1.1"], [])
+
+
+def test_amr_reduction_reported():
+    ss = strong_scaling(versions=("1.2",), nodes=(4,), points=SMALL)
+    p = ss["1.2"][0]
+    assert 0.8 < p.amr_reduction < 0.95
+    assert p.active_points < p.equiv_points
+
+
+def test_fillpatch_split_structure():
+    """Fig. 7: the four-way FillPatch split sums and grows correctly."""
+    from repro.perfmodel.execution import fillpatch_split
+    from repro.core.versions import get_version
+
+    v21 = get_version("2.1")
+    splits = []
+    for nodes in (4, 64):
+        nranks = CAL.spec.ranks_for(nodes, True)
+        levels = dmr_band_hierarchy(5e6 * nodes, nranks, 6, True, CAL)
+        splits.append(fillpatch_split(v21, levels, nodes, CAL))
+    for s in splits:
+        assert set(s) == {"FillBoundary_nowait", "FillBoundary_finish",
+                          "ParallelCopy_nowait", "ParallelCopy_finish"}
+        assert all(t >= 0 for t in s.values())
+    # the finish (completion/metadata) part grows with scale
+    assert splits[1]["ParallelCopy_finish"] > splits[0]["ParallelCopy_finish"]
+    # 2.0 pays more ParallelCopy than 2.1 at the same decomposition
+    v20 = get_version("2.0")
+    nranks = CAL.spec.ranks_for(64, True)
+    levels = dmr_band_hierarchy(5e6 * 64, nranks, 6, True, CAL)
+    s20 = fillpatch_split(v20, levels, 64, CAL)
+    s21 = fillpatch_split(v21, levels, 64, CAL)
+    assert s20["ParallelCopy_finish"] > s21["ParallelCopy_finish"]
+
+
+def test_simulated_iteration_includes_amr_software_tax():
+    """The AMR versions pay CPU-side software overhead beyond raw kernels."""
+    from repro.core.versions import get_version
+
+    nranks = CAL.spec.ranks_for(4, False)
+    levels_uni = dmr_band_hierarchy(SMALL, nranks, 44, False, CAL)
+    levels_amr = dmr_band_hierarchy(SMALL, nranks, 44, True, CAL)
+    bd_uni = simulate_iteration("1.1", levels_uni, 4, CAL)
+    bd_amr = simulate_iteration("1.2", levels_amr, 4, CAL)
+    # per active point, the AMR version's Advance is costlier
+    uni_rate = bd_uni.advance / levels_uni[0].num_pts()
+    amr_rate = bd_amr.advance / sum(l.num_pts() for l in levels_amr)
+    assert amr_rate > uni_rate

@@ -1,0 +1,77 @@
+"""Tests for the TinyProfiler region timers."""
+
+import pytest
+
+from repro.profiling.tinyprofiler import TinyProfiler
+
+
+def test_region_timing_accumulates():
+    prof = TinyProfiler()
+    for _ in range(3):
+        with prof.region("A"):
+            pass
+    assert prof.calls("A") == 3
+    assert prof.total("A") >= 0.0
+
+
+def test_nested_regions_and_breakdown():
+    prof = TinyProfiler()
+    with prof.region("outer"):
+        with prof.region("inner1"):
+            pass
+        with prof.region("inner2"):
+            pass
+    bd = prof.breakdown("outer")
+    assert set(bd) == {"inner1", "inner2"}
+    assert prof.total("outer") >= bd["inner1"] + bd["inner2"] - 1e-9
+
+
+def test_charge_simulated_time():
+    prof = TinyProfiler()
+    prof.charge("FillPatch", 2.5)
+    prof.charge("FillPatch", 1.5)
+    prof.charge("Advance", 4.0)
+    assert prof.total("FillPatch") == pytest.approx(4.0)
+    assert prof.calls("FillPatch") == 2
+    assert prof.top_level() == {"FillPatch": pytest.approx(4.0),
+                                "Advance": pytest.approx(4.0)}
+
+
+def test_charge_under_charged_region():
+    prof = TinyProfiler()
+    with prof.charged_region("FillPatch"):
+        prof.charge("ParallelCopy", 3.0)
+        prof.charge("FillBoundary", 1.0)
+    bd = prof.breakdown("FillPatch")
+    assert bd == {"ParallelCopy": pytest.approx(3.0),
+                  "FillBoundary": pytest.approx(1.0)}
+    # charged children roll up into the parent's inclusive time
+    assert prof.total("FillPatch") == pytest.approx(4.0)
+
+
+def test_charge_negative_rejected():
+    prof = TinyProfiler()
+    with pytest.raises(ValueError):
+        prof.charge("X", -1.0)
+
+
+def test_exclusive_time():
+    prof = TinyProfiler()
+    with prof.charged_region("outer"):
+        prof.charge("inner", 1.0)
+    prof.charge("outer", 5.0)  # additional direct charge
+    stats = {p: s for p, s in prof._stats.items() if p == ("outer",)}
+    s = stats[("outer",)]
+    assert s.exclusive == pytest.approx(5.0)
+    assert s.inclusive == pytest.approx(6.0)
+
+
+def test_report_and_reset():
+    prof = TinyProfiler()
+    with prof.region("A"):
+        with prof.region("B"):
+            pass
+    text = prof.report()
+    assert "A" in text and "B" in text
+    prof.reset()
+    assert prof.top_level() == {}

@@ -1,0 +1,50 @@
+"""Machine-readable benchmark results: append rows to BENCH_results.json.
+
+Every ``bench_*.py`` records its headline numbers through :func:`record`
+so the perf trajectory accumulates across runs in one flat file at the
+repo root (override the path with ``REPRO_BENCH_OUT``).  Each row is::
+
+    {"bench": "fig6_regions", "config": "nodes=100", "value": 1.23,
+     "units": "s", ...extra}
+
+Rows are appended (never rewritten), so successive benchmark runs form a
+time series; downstream tooling can group by (bench, config).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Union
+
+_ROOT = Path(__file__).resolve().parent.parent
+
+
+def results_path() -> Path:
+    return Path(os.environ.get("REPRO_BENCH_OUT",
+                               _ROOT / "BENCH_results.json"))
+
+
+def _load(path: Path) -> list:
+    if not path.exists():
+        return []
+    try:
+        rows = json.loads(path.read_text())
+    except json.JSONDecodeError:
+        return []
+    return rows if isinstance(rows, list) else []
+
+
+def record(bench: str, config: str, value: Union[int, float], units: str,
+           **extra) -> dict:
+    """Append one result row; returns the row written."""
+    row = {"bench": bench, "config": config, "value": float(value),
+           "units": units}
+    for k, v in extra.items():
+        row[k] = v
+    path = results_path()
+    rows = _load(path)
+    rows.append(row)
+    path.write_text(json.dumps(rows, indent=1) + "\n")
+    return row

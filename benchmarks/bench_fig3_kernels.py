@@ -13,6 +13,7 @@ Two parts:
 import numpy as np
 import pytest
 
+from benchmarks._record import record
 from benchmarks.conftest import table
 from repro.kernels.api import make_backend
 from repro.kernels.counts import VISCOUS_BUDGET, WENO_BUDGET
@@ -53,6 +54,8 @@ def test_fig3_summit_model_table(benchmark):
           f"(smallest, Viscous) to 15.8x (largest, WENOx)")
     print(f"  model: C++ 1.20x; GPU speedup {min(speedups):.1f}x to "
           f"{max(speedups):.1f}x over this size range")
+    record("fig3_kernels", "weno_gpu_speedup_min", min(speedups), "x")
+    record("fig3_kernels", "weno_gpu_speedup_max", max(speedups), "x")
     # shape assertions
     assert all(abs(r[5] - 1.2) < 1e-9 for r in rows)
     weno_speedups = [r[6] for r in rows if r[0] == "WENOx"]
@@ -79,4 +82,6 @@ def test_fig3_functional_kernel_walltime(benchmark, backend):
                       viscous=ViscousFlux(constant_viscosity(1e-3)))
 
     out = benchmark(lambda: ks.rhs(u, met, ng))
+    record("fig3_functional_rhs", f"backend={backend}",
+           benchmark.stats.stats.mean, "s", n=n)
     assert np.isfinite(out).all()

@@ -5,7 +5,12 @@ Regenerates the strong- and weak-scaling series for CRoCCo 1.1 / 1.2 /
 2.0 / 2.1 using exact decomposition metadata priced by the Summit machine
 models.  Use ``--small`` for a fast reduced-size sweep.
 
-Usage:  python examples/summit_scaling.py [--small]
+With ``--record DIR`` the weak-scaling series for CRoCCo 2.1 is also
+exported as observability artifacts (``DIR/trace.json`` +
+``DIR/metrics.jsonl``, charged time) — summarize them with
+``python -m repro.report DIR`` or open the trace in Perfetto.
+
+Usage:  python examples/summit_scaling.py [--small] [--record DIR]
 """
 
 import sys
@@ -60,6 +65,15 @@ def main() -> None:
         print(f"weak efficiency {v}: " + " ".join(f"{e:.0%}" for e in eff))
     print("(paper: 2.0 about 54% at 400 nodes and 40% at 1024; 2.1 about "
           "70% at 400)")
+
+    if "--record" in sys.argv:
+        from repro.perfmodel.trace_export import export_weak_scaling
+
+        out_dir = sys.argv[sys.argv.index("--record") + 1]
+        paths = export_weak_scaling(out_dir, version="2.1", table=table)
+        print(f"\nrecorded weak-scaling artifacts: {paths['trace']}, "
+              f"{paths['metrics']}")
+        print(f"summarize with: python -m repro.report {out_dir}")
 
 
 if __name__ == "__main__":

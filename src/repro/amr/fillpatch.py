@@ -18,6 +18,7 @@ Mirrors ``amrex::FillPatchUtil``:
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Callable, Optional
 
 import numpy as np
@@ -33,14 +34,21 @@ from repro.amr.multifab import MultiFab
 BCFill = Callable[[FArrayBox, Geometry, float], None]
 
 
+def _region(profiler, name: str):
+    """The profiler's sub-region, or a no-op context when unprofiled."""
+    return profiler.region(name) if profiler is not None else nullcontext()
+
+
 def fill_patch_single_level(
     mf: MultiFab,
     geom: Geometry,
     bc_fill: Optional[BCFill] = None,
     time: float = 0.0,
+    profiler=None,
 ) -> None:
     """FillBoundary plus physical boundary conditions for one level."""
-    mf.fill_boundary(geom)
+    with _region(profiler, "FillBoundary"):
+        mf.fill_boundary(geom)
     if bc_fill is not None:
         for _, fab in mf:
             bc_fill(fab, geom, time)
@@ -57,33 +65,36 @@ def fill_patch_two_levels(
     fine_coords: Optional[MultiFab] = None,
     bc_fill: Optional[BCFill] = None,
     time: float = 0.0,
+    profiler=None,
 ) -> None:
     """Fill ``fine``'s ghost cells from fine neighbors and coarse data."""
     r = IntVect.coerce(ratio, fine.dim)
-    fine.fill_boundary(geom_fine)
+    with _region(profiler, "FillBoundary"):
+        fine.fill_boundary(geom_fine)
 
-    coords_tmp = None
-    if interp.needs_coords:
-        if crse_coords is None or fine_coords is None:
-            raise ValueError("curvilinear interpolation requires coordinate MultiFabs")
-        # The custom curvilinear interpolator's ParallelCopy: gather the
-        # coarse coordinates into a temporary MultiFab with enough extra
-        # ghost cells to cover every interpolation stencil.  This is global
-        # communication (any rank's coordinates may be needed anywhere).
-        extra = crse.ngrow + IntVect.filled(crse.dim, interp.radius + 1)
-        coords_tmp = MultiFab(crse.ba, crse.dm, crse_coords.ncomp, extra, crse.comm)
-        coords_tmp.parallel_copy(crse_coords, fill_ghosts=True)
+    with _region(profiler, "ParallelCopy"):
+        coords_tmp = None
+        if interp.needs_coords:
+            if crse_coords is None or fine_coords is None:
+                raise ValueError("curvilinear interpolation requires coordinate MultiFabs")
+            # The custom curvilinear interpolator's ParallelCopy: gather the
+            # coarse coordinates into a temporary MultiFab with enough extra
+            # ghost cells to cover every interpolation stencil.  This is global
+            # communication (any rank's coordinates may be needed anywhere).
+            extra = crse.ngrow + IntVect.filled(crse.dim, interp.radius + 1)
+            coords_tmp = MultiFab(crse.ba, crse.dm, crse_coords.ncomp, extra, crse.comm)
+            coords_tmp.parallel_copy(crse_coords, fill_ghosts=True)
 
-    fine_domain = geom_fine.domain
-    for i, fab in fine:
-        grown = fab.grown_box().intersect(fine_domain)
-        for piece in fine.ba.complement_in(grown):
-            _interp_piece(
-                fab, piece, crse, r, interp,
-                coords_tmp if coords_tmp is not None else None,
-                fine_coords.fab(i) if fine_coords is not None else None,
-                fine.comm, fine.dm[i],
-            )
+        fine_domain = geom_fine.domain
+        for i, fab in fine:
+            grown = fab.grown_box().intersect(fine_domain)
+            for piece in fine.ba.complement_in(grown):
+                _interp_piece(
+                    fab, piece, crse, r, interp,
+                    coords_tmp if coords_tmp is not None else None,
+                    fine_coords.fab(i) if fine_coords is not None else None,
+                    fine.comm, fine.dm[i],
+                )
     if bc_fill is not None:
         for _, fab in fine:
             bc_fill(fab, geom_fine, time)
@@ -99,25 +110,27 @@ def fill_coarse_patch(
     fine_coords: Optional[MultiFab] = None,
     bc_fill: Optional[BCFill] = None,
     time: float = 0.0,
+    profiler=None,
 ) -> None:
     """Fill every *valid* cell of ``fine`` by interpolation from ``crse``.
 
     Used when regrid creates patches in previously-uncovered regions.
     """
     r = IntVect.coerce(ratio, fine.dim)
-    coords_tmp = None
-    if interp.needs_coords:
-        if crse_coords is None or fine_coords is None:
-            raise ValueError("curvilinear interpolation requires coordinate MultiFabs")
-        extra = crse.ngrow + IntVect.filled(crse.dim, interp.radius + 1)
-        coords_tmp = MultiFab(crse.ba, crse.dm, crse_coords.ncomp, extra, crse.comm)
-        coords_tmp.parallel_copy(crse_coords, fill_ghosts=True)
-    for i, fab in fine:
-        _interp_piece(
-            fab, fab.box, crse, r, interp, coords_tmp,
-            fine_coords.fab(i) if fine_coords is not None else None,
-            fine.comm, fine.dm[i],
-        )
+    with _region(profiler, "ParallelCopy"):
+        coords_tmp = None
+        if interp.needs_coords:
+            if crse_coords is None or fine_coords is None:
+                raise ValueError("curvilinear interpolation requires coordinate MultiFabs")
+            extra = crse.ngrow + IntVect.filled(crse.dim, interp.radius + 1)
+            coords_tmp = MultiFab(crse.ba, crse.dm, crse_coords.ncomp, extra, crse.comm)
+            coords_tmp.parallel_copy(crse_coords, fill_ghosts=True)
+        for i, fab in fine:
+            _interp_piece(
+                fab, fab.box, crse, r, interp, coords_tmp,
+                fine_coords.fab(i) if fine_coords is not None else None,
+                fine.comm, fine.dm[i],
+            )
     if bc_fill is not None:
         for _, fab in fine:
             bc_fill(fab, geom_fine, time)

@@ -3,6 +3,7 @@
 Usage::
 
     python -m repro inputs.deck [--steps N | --time T] [--plotfile DIR]
+                    [--profile] [--record DIR]
 
 Deck keys (beyond the ones :class:`repro.io.inputs.InputDeck` maps onto
 :class:`~repro.core.crocco.CroccoConfig`)::
@@ -15,6 +16,12 @@ Deck keys (beyond the ones :class:`repro.io.inputs.InputDeck` maps onto
     run.checkpoint  = chk_out        # write a restartable snapshot at the end
     run.restart     = chk_in         # resume from a snapshot
     run.report_every = 10
+    run.record      = run_out        # write run_out/trace.json + metrics.jsonl
+    run.trace_out   = trace.json     # Chrome trace-event JSON (Perfetto)
+    run.metrics_out = metrics.jsonl  # per-timestep metrics time series
+    run.profile     = true           # print profiler + ledger reports at end
+
+Summarize a recorded run afterwards with ``python -m repro.report DIR``.
 """
 
 from __future__ import annotations
@@ -72,11 +79,32 @@ def main(argv: Optional[list] = None) -> int:
                         help="override run.time (simulated seconds)")
     parser.add_argument("--plotfile", default=None,
                         help="override run.plotfile output directory")
+    parser.add_argument("--profile", action="store_true",
+                        help="print the TinyProfiler report and the ledger "
+                             "per-kind byte summary at end of run")
+    parser.add_argument("--record", default=None, metavar="DIR",
+                        help="record the run: write DIR/trace.json and "
+                             "DIR/metrics.jsonl (see python -m repro.report)")
+    parser.add_argument("--trace-out", default=None,
+                        help="override run.trace_out (Chrome trace JSON path)")
+    parser.add_argument("--metrics-out", default=None,
+                        help="override run.metrics_out (metrics JSONL path)")
     args = parser.parse_args(argv)
 
     deck = InputDeck.from_file(args.deck)
     case = build_case(deck)
     config = deck.to_crocco_config()
+    if args.record:
+        from pathlib import Path
+
+        config.trace_out = str(Path(args.record) / "trace.json")
+        config.metrics_out = str(Path(args.record) / "metrics.jsonl")
+    if args.trace_out:
+        config.trace_out = args.trace_out
+    if args.metrics_out:
+        config.metrics_out = args.metrics_out
+    if args.profile:
+        config.profile = True
     sim = Crocco(case, config)
     restart = deck.get_str("run.restart")
     if restart:
@@ -120,9 +148,27 @@ def main(argv: Optional[list] = None) -> int:
     if chk:
         path = save_checkpoint(chk, sim)
         print(f"wrote checkpoint {path}")
-    print(sim.profiler.report())
+    if config.profile:
+        print(sim.profiler.report())
+        print(ledger_summary(sim.comm.ledger))
     sim.close()
     return 0
+
+
+def ledger_summary(ledger) -> str:
+    """Per-kind message/byte totals with the on/off-node split."""
+    lines = ["CommLedger summary", "-" * 60]
+    by_kind = ledger.by_kind()
+    if not by_kind:
+        lines.append("(no traffic recorded)")
+    for kind in sorted(by_kind):
+        count, volume = by_kind[kind]
+        lines.append(
+            f"{kind:<14s} msgs={count:<8d} bytes={volume:<12d} "
+            f"on-node={ledger.on_node_bytes(kind):<12d} "
+            f"off-node={ledger.off_node_bytes(kind)}"
+        )
+    return "\n".join(lines)
 
 
 if __name__ == "__main__":

@@ -84,6 +84,12 @@ class CroccoConfig:
     #: paper's first, slower implementation (Sec. III-C, Regridding).
     coords_source: str = "stored"
     interpolator: Optional[str] = None  # override the version default
+    #: observability: Chrome trace-event JSON output path (Perfetto-loadable)
+    trace_out: Optional[str] = None
+    #: observability: per-timestep metrics JSONL output path
+    metrics_out: Optional[str] = None
+    #: print the TinyProfiler report and ledger summary at end of run (CLI)
+    profile: bool = False
 
     def resolve_version(self) -> VersionConfig:
         return get_version(self.version)
@@ -145,6 +151,17 @@ class Crocco(AmrCore):
         self.time = 0.0
         self.step_count = 0
         self.dt_history: List[float] = []
+        self.regrid_count = 0
+        #: tagged-cell count per level from the most recent error estimate
+        self.last_tag_counts: Dict[int, int] = {}
+
+        self.recorder = None
+        if self.config.trace_out or self.config.metrics_out:
+            from repro.observability.recorder import RunRecorder
+
+            self.recorder = RunRecorder(trace_out=self.config.trace_out,
+                                        metrics_out=self.config.metrics_out)
+            self.recorder.attach(self)
 
     # -- initialization (InitGrid / InitGridMetrics / InitFlow) ---------------
     def initialize(self) -> None:
@@ -169,6 +186,10 @@ class Crocco(AmrCore):
         self._coords_file = path
 
     def close(self) -> None:
+        if self.recorder is not None:
+            written = self.recorder.finalize(self)
+            for kind, path in written.items():
+                print(f"wrote {kind} {path}")
         if self._coords_file and os.path.exists(self._coords_file):
             os.unlink(self._coords_file)
             self._coords_file = None
@@ -188,6 +209,7 @@ class Crocco(AmrCore):
             self.ref_ratio_iv(), self.interp,
             crse_coords=self.coords[lev - 1] if self.interp.needs_coords else None,
             fine_coords=self.coords[lev] if self.interp.needs_coords else None,
+            profiler=self.profiler,
         )
         self._bc_fill(lev)
 
@@ -202,6 +224,7 @@ class Crocco(AmrCore):
             self.ref_ratio_iv(), self.interp,
             crse_coords=self.coords[lev - 1] if self.interp.needs_coords else None,
             fine_coords=self.coords[lev] if self.interp.needs_coords else None,
+            profiler=self.profiler,
         )
         self.state[lev].parallel_copy(old_state)
         self._bc_fill(lev)
@@ -223,7 +246,9 @@ class Crocco(AmrCore):
             )
         else:
             tags = tag_density_gradient(mf, 0, self.case.tag_threshold)
-        return tagged_cells(mf, tags)
+        cells = tagged_cells(mf, tags)
+        self.last_tag_counts[lev] = int(cells.shape[0])
+        return cells
 
     # -- storage management --------------------------------------------------
     def _build_level_storage(self, lev: int, ba: BoxArray,
@@ -283,7 +308,8 @@ class Crocco(AmrCore):
     def _fill_patch(self, lev: int) -> None:
         with self.profiler.region("FillPatch"):
             if lev == 0:
-                fill_patch_single_level(self.state[0], self.geoms[0])
+                fill_patch_single_level(self.state[0], self.geoms[0],
+                                        profiler=self.profiler)
             else:
                 needs = self.interp.needs_coords
                 fill_patch_two_levels(
@@ -292,6 +318,7 @@ class Crocco(AmrCore):
                     self.ref_ratio_iv(), self.interp,
                     crse_coords=self.coords[lev - 1] if needs else None,
                     fine_coords=self.coords[lev] if needs else None,
+                    profiler=self.profiler,
                 )
 
     # -- Algorithm 1: main loop -------------------------------------------
@@ -307,11 +334,14 @@ class Crocco(AmrCore):
             if self.step_count % self.regrid_interval() == 0:
                 with self.profiler.region("Regrid"):
                     self.regrid()
+                self.regrid_count += 1
         dt = self._compute_dt()
         self._rk3(dt)
         self.time += dt
         self.step_count += 1
         self.dt_history.append(dt)
+        if self.recorder is not None:
+            self.recorder.sample_step(self)
 
     def regrid_interval(self) -> int:
         """Steps between regrids — fixed, or CFL-derived when "auto".

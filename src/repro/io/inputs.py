@@ -98,7 +98,19 @@ class InputDeck:
             tagging=self.get_str("amr.tagging", "density"),
             coords_source=self.get_str("crocco.coords_source", "stored"),
             interpolator=self.get_str("crocco.interpolator", None),
+            trace_out=self.get_str("run.trace_out", None),
+            metrics_out=self.get_str("run.metrics_out", None),
+            profile=self.get_bool("run.profile", False),
         )
+        # run.record = DIR is shorthand for both artifacts in one run dir
+        record = self.get_str("run.record")
+        if record:
+            from pathlib import Path
+
+            if cfg.trace_out is None:
+                cfg.trace_out = str(Path(record) / "trace.json")
+            if cfg.metrics_out is None:
+                cfg.metrics_out = str(Path(record) / "metrics.jsonl")
         return cfg
 
     def domain_cells(self) -> Optional[List[int]]:

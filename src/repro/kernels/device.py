@@ -19,6 +19,7 @@ simulated.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -82,6 +83,22 @@ class GpuDevice:
         self.high_water = 0
         self.launches: List[LaunchRecord] = []
         self.alloc_count = 0
+        self._listeners: List[object] = []
+
+    # -- listeners ---------------------------------------------------------
+    def add_listener(self, listener: object) -> None:
+        """Attach an observer: ``on_launch(device, record, wall_seconds)``
+        fires after every recorded launch or reduction."""
+        if listener not in self._listeners:
+            self._listeners.append(listener)
+
+    def remove_listener(self, listener: object) -> None:
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+
+    def _notify_launch(self, rec: LaunchRecord, wall_seconds: float) -> None:
+        for listener in self._listeners:
+            listener.on_launch(self, rec, wall_seconds)
 
     # -- memory -----------------------------------------------------------
     def _allocate(self, nbytes: int) -> None:
@@ -133,18 +150,20 @@ class GpuDevice:
         at DRAM (each cell is re-read by every stencil that covers it; the
         caches absorb most but not all of the reuse).
         """
+        t0 = time.perf_counter()
         result = fn()
+        elapsed = time.perf_counter() - t0
         dram = int(npoints * dram_bytes_per_point)
-        self.launches.append(
-            LaunchRecord(
-                name=name,
-                npoints=npoints,
-                flops=int(npoints * flops_per_point),
-                dram_bytes=dram,
-                l2_bytes=int(dram * l2_amplification),
-                l1_bytes=int(dram * l1_amplification),
-            )
+        rec = LaunchRecord(
+            name=name,
+            npoints=npoints,
+            flops=int(npoints * flops_per_point),
+            dram_bytes=dram,
+            l2_bytes=int(dram * l2_amplification),
+            l1_bytes=int(dram * l1_amplification),
         )
+        self.launches.append(rec)
+        self._notify_launch(rec, elapsed)
         return result
 
     def reduce(self, name: str, values: np.ndarray, op: str = "min") -> float:
@@ -153,13 +172,16 @@ class GpuDevice:
         if op not in ops:
             raise ValueError(f"unknown reduction op {op!r}")
         n = int(np.asarray(values).size)
-        self.launches.append(
-            LaunchRecord(
-                name=name, npoints=n, flops=n,
-                dram_bytes=n * 8, l2_bytes=n * 8, l1_bytes=n * 8,
-            )
+        t0 = time.perf_counter()
+        result = float(ops[op](values))
+        elapsed = time.perf_counter() - t0
+        rec = LaunchRecord(
+            name=name, npoints=n, flops=n,
+            dram_bytes=n * 8, l2_bytes=n * 8, l1_bytes=n * 8,
         )
-        return float(ops[op](values))
+        self.launches.append(rec)
+        self._notify_launch(rec, elapsed)
+        return result
 
     # -- summaries --------------------------------------------------------
     def launches_by_kernel(self) -> Dict[str, List[LaunchRecord]]:

@@ -10,6 +10,7 @@ the on-node/off-node split all come from real box-intersection geometry.
 from __future__ import annotations
 
 from collections import defaultdict
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
@@ -41,6 +42,17 @@ class CommLedger:
         self.ranks_per_node = ranks_per_node
         self._messages: List[Message] = []
         self.enabled = True
+        self._listeners: List[object] = []
+
+    # -- listeners ---------------------------------------------------------
+    def add_listener(self, listener: object) -> None:
+        """Attach an observer whose ``on_message(msg)`` sees each record."""
+        if listener not in self._listeners:
+            self._listeners.append(listener)
+
+    def remove_listener(self, listener: object) -> None:
+        if listener in self._listeners:
+            self._listeners.remove(listener)
 
     def record(self, src: int, dst: int, nbytes: int, kind: str) -> None:
         """Append one message; ``kind`` must be one of :data:`KINDS`."""
@@ -50,10 +62,29 @@ class CommLedger:
             raise ValueError(f"unknown message kind {kind!r}")
         if nbytes < 0:
             raise ValueError("message size must be non-negative")
-        self._messages.append(Message(src, dst, nbytes, kind))
+        msg = Message(src, dst, nbytes, kind)
+        self._messages.append(msg)
+        for listener in self._listeners:
+            listener.on_message(msg)
 
-    def clear(self) -> None:
-        self._messages.clear()
+    @contextmanager
+    def paused(self) -> Iterator["CommLedger"]:
+        """Suspend recording for a block (restores the prior state after)."""
+        prev = self.enabled
+        self.enabled = False
+        try:
+            yield self
+        finally:
+            self.enabled = prev
+
+    def clear(self, kind: Optional[str] = None) -> None:
+        """Drop recorded messages — all of them, or one ``kind`` only."""
+        if kind is None:
+            self._messages.clear()
+            return
+        if kind not in KINDS:
+            raise ValueError(f"unknown message kind {kind!r}")
+        self._messages = [m for m in self._messages if m.kind != kind]
 
     def __len__(self) -> int:
         return len(self._messages)

@@ -1,0 +1,122 @@
+"""Adapters: silo listeners that emit into the tracer / metrics registry.
+
+Each adapter implements the listener callbacks of one existing accounting
+silo (``TinyProfiler`` regions, ``CommLedger`` messages, ``GpuDevice``
+launches) and forwards the events into the unified
+:class:`~repro.observability.tracer.Tracer` and
+:class:`~repro.observability.metrics.MetricsRegistry` — the silos' own
+public APIs and accumulation behavior are untouched.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Tuple
+
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracer import DRIVER_STREAM, GPU_STREAM, Tracer
+
+
+class ProfilerTraceAdapter:
+    """TinyProfiler listener: regions become spans on a driver track.
+
+    Wall regions (``region``) become measured wall spans; charges and
+    charged regions (``charge`` / ``charged_region``) become charged spans
+    laid out on the track's simulated clock — so the functional driver and
+    the Summit performance model export the same span structure.
+    """
+
+    def __init__(self, tracer: Tracer, rank: int = 0,
+                 stream: int = DRIVER_STREAM) -> None:
+        self.tracer = tracer
+        self.rank = rank
+        self.stream = stream
+
+    def on_enter(self, path: Tuple[str, ...]) -> None:
+        self.tracer.begin(path[-1], self.rank, self.stream, cat="region",
+                          args={"path": "/".join(path)})
+
+    def on_exit(self, path: Tuple[str, ...], seconds: float) -> None:
+        self.tracer.end(self.rank, self.stream)
+
+    def on_charge(self, path: Tuple[str, ...], seconds: float,
+                  calls: int) -> None:
+        self.tracer.charge(path[-1], seconds, self.rank, self.stream,
+                           args={"path": "/".join(path), "calls": calls})
+
+    def on_enter_charged(self, path: Tuple[str, ...]) -> None:
+        self.tracer.begin_charged(path[-1], self.rank, self.stream,
+                                  args={"path": "/".join(path)})
+
+    def on_exit_charged(self, path: Tuple[str, ...]) -> None:
+        self.tracer.end_charged(self.rank, self.stream)
+
+
+class LedgerMetricsAdapter:
+    """CommLedger listener: per-kind traffic counters + a comms matrix.
+
+    Maintains cumulative counters ``ledger.<kind>.bytes`` /
+    ``ledger.<kind>.messages`` with on-node / off-node splits, and a
+    rank-to-rank byte matrix for the run report.
+    """
+
+    def __init__(self, registry: MetricsRegistry,
+                 ranks_per_node: int = 6) -> None:
+        self.registry = registry
+        self.ranks_per_node = ranks_per_node
+        self._matrix: Dict[Tuple[int, int], int] = defaultdict(int)
+
+    def on_message(self, msg) -> None:
+        c = self.registry.counter
+        c(f"ledger.{msg.kind}.bytes").inc(msg.nbytes)
+        c(f"ledger.{msg.kind}.messages").inc()
+        if not msg.local:
+            same_node = (msg.src // self.ranks_per_node
+                         == msg.dst // self.ranks_per_node)
+            where = "on_node" if same_node else "off_node"
+            c(f"ledger.{msg.kind}.{where}_bytes").inc(msg.nbytes)
+        self._matrix[(msg.src, msg.dst)] += msg.nbytes
+
+    def comms_matrix(self, nranks: Optional[int] = None) -> List[List[int]]:
+        """Dense rank-to-rank byte matrix (row = src, column = dst)."""
+        if nranks is None:
+            nranks = 1 + max(
+                (max(s, d) for (s, d) in self._matrix), default=0
+            )
+        out = [[0] * nranks for _ in range(nranks)]
+        for (s, d), b in self._matrix.items():
+            out[s][d] += b
+        return out
+
+
+class DeviceMetricsAdapter:
+    """GpuDevice listener: per-kernel flop/byte counters + kernel spans.
+
+    Launches update cumulative per-kernel counters (the roofline inputs)
+    and the device-memory high-water gauge; when a tracer is supplied,
+    each launch also becomes a wall span on the rank's GPU-stream track.
+    """
+
+    def __init__(self, registry: MetricsRegistry, rank: int = 0,
+                 tracer: Optional[Tracer] = None,
+                 stream: int = GPU_STREAM) -> None:
+        self.registry = registry
+        self.rank = rank
+        self.tracer = tracer
+        self.stream = stream
+
+    def on_launch(self, device, rec, wall_seconds: float) -> None:
+        c = self.registry.counter
+        c(f"kernel.{rec.name}.launches").inc()
+        c(f"kernel.{rec.name}.points").inc(rec.npoints)
+        c(f"kernel.{rec.name}.flops").inc(rec.flops)
+        c(f"kernel.{rec.name}.dram_bytes").inc(rec.dram_bytes)
+        c(f"kernel.{rec.name}.l2_bytes").inc(rec.l2_bytes)
+        c(f"kernel.{rec.name}.l1_bytes").inc(rec.l1_bytes)
+        self.registry.gauge(
+            f"device.rank{self.rank}.high_water_bytes").set(device.high_water)
+        if self.tracer is not None:
+            dur = wall_seconds * 1e6
+            self.tracer.complete(rec.name, self.tracer.now_us() - dur, dur,
+                                 self.rank, self.stream, cat="kernel",
+                                 args={"points": rec.npoints})

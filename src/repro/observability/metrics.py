@@ -1,0 +1,154 @@
+"""MetricsRegistry: counters, gauges and histograms sampled per timestep.
+
+The driver (or the simulated-Summit scaling exporter) updates instruments
+as it runs and calls :meth:`MetricsRegistry.sample` once per timestep; the
+accumulated records serialize to JSON Lines, one record per step::
+
+    {"step": 3, "time": 0.0125, "metrics": {"dt": 4.1e-3, ...}}
+
+Counters are monotonic (cumulative); gauges hold the last set value;
+histograms flatten to ``name.count/.sum/.min/.max/.mean`` in each sample.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+
+class Counter:
+    """A monotonically increasing cumulative count."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: cannot decrease")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Optional[float] = None
+
+    def set(self, value: Union[int, float]) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Streaming summary statistics of observed values."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: Union[int, float]) -> None:
+        v = float(value)
+        self.count += 1
+        self.total += v
+        self.min = v if self.min is None else min(self.min, v)
+        self.max = v if self.max is None else max(self.max, v)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def flatten(self) -> Dict[str, float]:
+        return {
+            f"{self.name}.count": float(self.count),
+            f"{self.name}.sum": self.total,
+            f"{self.name}.min": self.min if self.min is not None else 0.0,
+            f"{self.name}.max": self.max if self.max is not None else 0.0,
+            f"{self.name}.mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Named instruments plus the per-step sample log."""
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, object] = {}
+        self.records: List[dict] = []
+
+    def _get(self, name: str, cls):
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = cls(name)
+            self._instruments[name] = inst
+        elif not isinstance(inst, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(inst).__name__}, not {cls.__name__}"
+            )
+        return inst
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def names(self) -> List[str]:
+        return sorted(self._instruments)
+
+    # -- sampling ----------------------------------------------------------
+    def snapshot(self) -> Dict[str, float]:
+        """Current value of every instrument, flattened to scalars."""
+        out: Dict[str, float] = {}
+        for name in sorted(self._instruments):
+            inst = self._instruments[name]
+            if isinstance(inst, Histogram):
+                out.update(inst.flatten())
+            elif isinstance(inst, Gauge):
+                if inst.value is not None:
+                    out[name] = inst.value
+            else:
+                out[name] = inst.value
+        return out
+
+    def sample(self, step: int, time: float,
+               extra: Optional[Dict[str, float]] = None) -> dict:
+        """Record one per-timestep sample of every instrument."""
+        metrics = self.snapshot()
+        if extra:
+            metrics.update({k: float(v) for k, v in extra.items()})
+        rec = {"step": int(step), "time": float(time), "metrics": metrics}
+        self.records.append(rec)
+        return rec
+
+    # -- serialization -----------------------------------------------------
+    def write_jsonl(self, path) -> str:
+        p = Path(path)
+        p.parent.mkdir(parents=True, exist_ok=True)
+        with p.open("w") as f:
+            for rec in self.records:
+                f.write(json.dumps(rec) + "\n")
+        return str(p)
+
+    @staticmethod
+    def read_jsonl(path) -> List[dict]:
+        """Load a metrics JSONL file; validates the record schema."""
+        records: List[dict] = []
+        for lineno, line in enumerate(Path(path).read_text().splitlines(), 1):
+            if not line.strip():
+                continue
+            rec = json.loads(line)
+            for field in ("step", "time", "metrics"):
+                if field not in rec:
+                    raise ValueError(
+                        f"{path}:{lineno}: record missing {field!r}"
+                    )
+            records.append(rec)
+        return records

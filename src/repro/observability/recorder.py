@@ -1,0 +1,131 @@
+"""RunRecorder: wire a run to the tracer/registry and write the artifacts.
+
+A recorder owns one :class:`Tracer` and one :class:`MetricsRegistry`,
+attaches the silo adapters to a :class:`~repro.core.crocco.Crocco`
+simulation, snapshots the per-timestep metrics the paper's evaluation
+needs (dt, CFL, active cells per level, tagged cells, regrid count,
+ledger traffic by kind with the on/off-node split, device memory
+high-water, per-kernel flop/byte totals, L2 drift when a validation
+reference is supplied), and finalizes two artifacts:
+
+- ``trace_out`` — Chrome trace-event JSON (open in Perfetto), carrying the
+  comms matrix and run configuration in ``otherData``;
+- ``metrics_out`` — JSONL, one record per timestep.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.observability.adapters import (
+    DeviceMetricsAdapter,
+    LedgerMetricsAdapter,
+    ProfilerTraceAdapter,
+)
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracer import GPU_STREAM, Tracer
+
+#: conventional artifact names inside a run directory
+TRACE_NAME = "trace.json"
+METRICS_NAME = "metrics.jsonl"
+
+
+class RunRecorder:
+    """Tracer + registry + adapters for one recorded run."""
+
+    def __init__(self, trace_out: Optional[str] = None,
+                 metrics_out: Optional[str] = None) -> None:
+        self.trace_out = trace_out
+        self.metrics_out = metrics_out
+        self.tracer = Tracer()
+        self.metrics = MetricsRegistry()
+        self.ledger_adapter: Optional[LedgerMetricsAdapter] = None
+        self._sim = None
+        self._finalized = False
+
+    # -- wiring ------------------------------------------------------------
+    def attach(self, sim) -> None:
+        """Register adapters on a Crocco simulation's silos."""
+        self._sim = sim
+        sim.profiler.add_listener(ProfilerTraceAdapter(self.tracer, rank=0))
+        self.tracer.set_thread_name(0, 0, "driver regions")
+        self.ledger_adapter = LedgerMetricsAdapter(
+            self.metrics, sim.comm.ranks_per_node
+        )
+        sim.comm.ledger.add_listener(self.ledger_adapter)
+        if sim.devices is not None:
+            for r, dev in enumerate(sim.devices):
+                dev.add_listener(
+                    DeviceMetricsAdapter(self.metrics, rank=r,
+                                         tracer=self.tracer)
+                )
+                self.tracer.set_process_name(r, f"rank {r} ({dev.name})")
+                self.tracer.set_thread_name(r, GPU_STREAM, "gpu stream")
+
+    # -- per-step sampling -------------------------------------------------
+    def sample_step(self, sim) -> dict:
+        """Snapshot the per-timestep metrics after one ``step()``."""
+        g = self.metrics.gauge
+        if sim.dt_history:
+            g("dt").set(sim.dt_history[-1])
+            self.metrics.histogram("dt_hist").observe(sim.dt_history[-1])
+        cfl = sim.config.cfl if sim.config.cfl is not None else sim.case.cfl
+        g("cfl").set(cfl)
+        total_cells = 0
+        for lev in range(sim.finest_level + 1):
+            ba = sim.box_arrays[lev]
+            n = ba.num_pts() if ba is not None else 0
+            g(f"active_cells.lev{lev}").set(n)
+            total_cells += n
+        g("active_cells.total").set(total_cells)
+        g("levels").set(sim.finest_level + 1)
+        g("regrids").set(getattr(sim, "regrid_count", 0))
+        tag_counts = getattr(sim, "last_tag_counts", {})
+        g("tagged_cells").set(sum(tag_counts.values()))
+        if sim.devices is not None:
+            g("device.high_water_bytes.max").set(
+                max(d.high_water for d in sim.devices)
+            )
+        rec = self.metrics.sample(sim.step_count, sim.time)
+        self.tracer.counter(
+            "active_cells", {"cells": float(total_cells)}, rank=0
+        )
+        return rec
+
+    def record_l2_drift(self, value: float) -> None:
+        """Record a validation L2 drift (set by the validation harness)."""
+        self.metrics.gauge("validation.l2_drift").set(value)
+
+    # -- finalize ----------------------------------------------------------
+    def _other_data(self, sim) -> dict:
+        other = {"mode": "wall", "schema": "repro-trace-1"}
+        if sim is not None:
+            cfg = sim.config
+            other["config"] = {
+                "case": sim.case.name,
+                "version": cfg.version,
+                "nranks": sim.comm.nranks,
+                "ranks_per_node": sim.comm.ranks_per_node,
+                "max_level": cfg.max_level,
+                "backend": sim.kernels.backend,
+            }
+            other["nranks"] = sim.comm.nranks
+        if self.ledger_adapter is not None:
+            nranks = sim.comm.nranks if sim is not None else None
+            other["comms_matrix"] = self.ledger_adapter.comms_matrix(nranks)
+        return other
+
+    def finalize(self, sim=None) -> dict:
+        """Write the configured artifacts; returns {kind: path}."""
+        if self._finalized:
+            return {}
+        self._finalized = True
+        sim = sim if sim is not None else self._sim
+        written = {}
+        if self.trace_out:
+            written["trace"] = self.tracer.write(
+                self.trace_out, other_data=self._other_data(sim)
+            )
+        if self.metrics_out:
+            written["metrics"] = self.metrics.write_jsonl(self.metrics_out)
+        return written

@@ -1,0 +1,312 @@
+"""Run report: summarize one recorded run's trace + metrics artifacts.
+
+``python -m repro.report <run_dir>`` (or ``tools/trace_report.py``) reads
+the Chrome trace JSON and metrics JSONL a recorded run produced and
+prints:
+
+- a hot-region table (calls, inclusive / exclusive seconds) computed from
+  span nesting, the TinyProfiler view reconstructed from artifacts alone;
+- the FillPatch split (FillBoundary vs ParallelCopy time, Fig. 7's axis);
+- a rank-to-rank communication matrix from the recorded ledger traffic;
+- roofline points (arithmetic intensity per memory level, modeled
+  achieved flops) from the per-kernel flop/byte counters (Fig. 4's axis);
+- the per-timestep metrics trajectory (dt, active cells, ledger bytes).
+
+Works identically on functional runs (wall time) and simulated-Summit
+scaling exports (charged time) — the schema is shared.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import defaultdict
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.recorder import METRICS_NAME, TRACE_NAME
+from repro.observability.tracer import load_chrome_trace
+
+
+# -- span analysis ----------------------------------------------------------
+
+class RegionSummary:
+    """Aggregated statistics for one span name."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.calls = 0
+        self.inclusive = 0.0  # seconds
+        self.child = 0.0
+
+    @property
+    def exclusive(self) -> float:
+        return self.inclusive - self.child
+
+
+def summarize_spans(events: Sequence[dict]) -> Dict[str, RegionSummary]:
+    """Per-name inclusive/exclusive seconds, from span containment.
+
+    Events on each (pid, tid) track are sorted by start time (ties broken
+    widest-first) and nested with an interval stack, so a span's direct
+    parent accumulates its duration as child time — the same
+    inclusive/exclusive decomposition TinyProfiler reports.
+    """
+    out: Dict[str, RegionSummary] = {}
+    tracks: Dict[Tuple[int, int], List[dict]] = defaultdict(list)
+    for ev in events:
+        if ev.get("ph") == "X":
+            tracks[(ev["pid"], ev["tid"])].append(ev)
+    for evs in tracks.values():
+        evs.sort(key=lambda e: (e["ts"], -e["dur"]))
+        stack: List[dict] = []  # open ancestors
+        for ev in evs:
+            while stack and ev["ts"] >= stack[-1]["ts"] + stack[-1]["dur"] - 1e-9:
+                stack.pop()
+            s = out.setdefault(ev["name"], RegionSummary(ev["name"]))
+            s.calls += 1
+            s.inclusive += ev["dur"] / 1e6
+            if stack:
+                parent = out.setdefault(
+                    stack[-1]["name"], RegionSummary(stack[-1]["name"])
+                )
+                parent.child += ev["dur"] / 1e6
+            stack.append(ev)
+    return out
+
+
+def split_of(events: Sequence[dict], parent: str) -> Dict[str, float]:
+    """Seconds of each direct child name under every ``parent`` span."""
+    out: Dict[str, float] = {}
+    tracks: Dict[Tuple[int, int], List[dict]] = defaultdict(list)
+    for ev in events:
+        if ev.get("ph") == "X":
+            tracks[(ev["pid"], ev["tid"])].append(ev)
+    for evs in tracks.values():
+        evs.sort(key=lambda e: (e["ts"], -e["dur"]))
+        stack: List[dict] = []
+        for ev in evs:
+            while stack and ev["ts"] >= stack[-1]["ts"] + stack[-1]["dur"] - 1e-9:
+                stack.pop()
+            if stack and stack[-1]["name"] == parent:
+                out[ev["name"]] = out.get(ev["name"], 0.0) + ev["dur"] / 1e6
+            stack.append(ev)
+    return out
+
+
+# -- metrics analysis -------------------------------------------------------
+
+def kernel_totals(records: Sequence[dict]) -> Dict[str, Dict[str, float]]:
+    """Final cumulative per-kernel counters: {kernel: {field: value}}."""
+    if not records:
+        return {}
+    final = records[-1]["metrics"]
+    out: Dict[str, Dict[str, float]] = defaultdict(dict)
+    for key, value in final.items():
+        if key.startswith("kernel."):
+            _, kernel, field = key.split(".", 2)
+            out[kernel][field] = value
+    return dict(out)
+
+
+def ledger_totals(records: Sequence[dict]) -> Dict[str, Dict[str, float]]:
+    """Final cumulative per-kind ledger counters."""
+    if not records:
+        return {}
+    final = records[-1]["metrics"]
+    out: Dict[str, Dict[str, float]] = defaultdict(dict)
+    for key, value in final.items():
+        if key.startswith("ledger."):
+            _, kind, field = key.split(".", 2)
+            out[kind][field] = value
+    return dict(out)
+
+
+def roofline_rows(kernels: Dict[str, Dict[str, float]]) -> List[tuple]:
+    """(kernel, flops, AI@DRAM/L2/L1, modeled GF/s, %peak) per kernel."""
+    from repro.kernels.counts import BUDGETS
+    from repro.machine.gpu import V100Model
+
+    model = V100Model()
+    rows = []
+    for name in sorted(kernels):
+        k = kernels[name]
+        flops = k.get("flops", 0.0)
+        dram = k.get("dram_bytes", 0.0)
+        if not flops or not dram:
+            continue
+        ai = {
+            "DRAM": flops / dram,
+            "L2": flops / k.get("l2_bytes", dram),
+            "L1": flops / k.get("l1_bytes", dram),
+        }
+        budget = BUDGETS.get("WENO" if name.startswith("WENO") else name)
+        achieved = model.achieved_flops(budget) if budget is not None else None
+        frac = achieved / model.peak_dp_flops if achieved else None
+        rows.append((name, flops, ai, achieved, frac))
+    return rows
+
+
+# -- rendering --------------------------------------------------------------
+
+def _fmt_bytes(n: float) -> str:
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if abs(n) < 1024 or unit == "TB":
+            return f"{n:.1f}{unit}" if unit != "B" else f"{int(n)}B"
+        n /= 1024
+    return f"{n:.1f}TB"
+
+
+def format_report(events: Sequence[dict], other: dict,
+                  records: Sequence[dict], top: int = 12,
+                  max_ranks: int = 8) -> str:
+    lines: List[str] = []
+    mode = other.get("mode", "wall")
+    cfg = other.get("config", {})
+    lines.append(f"== run report ({mode} time) ==")
+    if cfg:
+        lines.append("  " + "  ".join(f"{k}={v}" for k, v in cfg.items()))
+
+    # hot regions
+    regions = summarize_spans(
+        [e for e in events if e.get("cat") in ("region", "charged")]
+    )
+    lines.append("")
+    lines.append(f"-- hot regions (top {top}) --")
+    lines.append(f"{'region':<26s} {'calls':>7s} {'incl[s]':>12s} {'excl[s]':>12s}")
+    ordered = sorted(regions.values(), key=lambda s: -s.inclusive)
+    for s in ordered[:top]:
+        lines.append(f"{s.name:<26s} {s.calls:>7d} {s.inclusive:>12.6f} "
+                     f"{max(0.0, s.exclusive):>12.6f}")
+
+    # FillPatch split
+    split = split_of(events, "FillPatch")
+    if split:
+        total = sum(split.values()) or 1.0
+        lines.append("")
+        lines.append("-- FillPatch split --")
+        for name in sorted(split, key=lambda n: -split[n]):
+            lines.append(f"{name:<26s} {split[name]:>12.6f}s "
+                         f"{split[name] / total:>6.1%}")
+
+    # comms matrix
+    matrix = other.get("comms_matrix")
+    if matrix:
+        n = len(matrix)
+        shown = min(n, max_ranks)
+        lines.append("")
+        lines.append(f"-- comms matrix (bytes, src rank -> dst rank"
+                     + (f", first {shown} of {n} ranks" if shown < n else "")
+                     + ") --")
+        header = "src\\dst " + " ".join(f"{d:>10d}" for d in range(shown))
+        lines.append(header)
+        for s in range(shown):
+            lines.append(f"{s:>7d} " + " ".join(
+                f"{matrix[s][d]:>10d}" for d in range(shown)))
+        total_bytes = sum(sum(row) for row in matrix)
+        off_diag = sum(matrix[s][d] for s in range(n) for d in range(n) if s != d)
+        lines.append(f"  total {_fmt_bytes(total_bytes)} "
+                     f"({_fmt_bytes(off_diag)} between distinct ranks)")
+
+    # roofline points
+    kernels = kernel_totals(records)
+    rows = roofline_rows(kernels)
+    if rows:
+        lines.append("")
+        lines.append("-- roofline points (per-kernel cumulative counts) --")
+        lines.append(f"{'kernel':<12s} {'flops':>12s} {'AI@DRAM':>8s} "
+                     f"{'AI@L2':>7s} {'AI@L1':>7s} {'GF/s(model)':>12s} {'%peak':>6s}")
+        for name, flops, ai, achieved, frac in rows:
+            perf = f"{achieved / 1e9:,.0f}" if achieved else "-"
+            pk = f"{frac:.1%}" if frac else "-"
+            lines.append(f"{name:<12s} {flops:>12.3g} {ai['DRAM']:>8.2f} "
+                         f"{ai['L2']:>7.2f} {ai['L1']:>7.2f} {perf:>12s} {pk:>6s}")
+
+    # ledger totals + metrics trajectory
+    ledg = ledger_totals(records)
+    if ledg:
+        lines.append("")
+        lines.append("-- ledger traffic by kind --")
+        for kind in sorted(ledg):
+            k = ledg[kind]
+            lines.append(
+                f"{kind:<14s} msgs={int(k.get('messages', 0)):>8d} "
+                f"bytes={_fmt_bytes(k.get('bytes', 0)):>10s} "
+                f"on-node={_fmt_bytes(k.get('on_node_bytes', 0)):>10s} "
+                f"off-node={_fmt_bytes(k.get('off_node_bytes', 0)):>10s}"
+            )
+    if records:
+        first, last = records[0], records[-1]
+        m = last["metrics"]
+        lines.append("")
+        lines.append(f"-- metrics: {len(records)} timesteps, "
+                     f"steps {first['step']}..{last['step']} --")
+        if "dt" in m:
+            lines.append(f"  final dt = {m['dt']:.4g}, t = {last['time']:.5g}")
+        levels = sorted(k for k in m if k.startswith("active_cells.lev"))
+        if levels:
+            lines.append("  active cells: " + ", ".join(
+                f"{k.split('.')[-1]}={int(m[k])}" for k in levels))
+        if "tagged_cells" in m:
+            lines.append(f"  tagged cells = {int(m['tagged_cells'])}, "
+                         f"regrids = {int(m.get('regrids', 0))}")
+        if "validation.l2_drift" in m:
+            lines.append(f"  validation L2 drift = {m['validation.l2_drift']:.3e}")
+    return "\n".join(lines)
+
+
+# -- CLI --------------------------------------------------------------------
+
+def load_run(run_dir: Optional[str] = None, trace: Optional[str] = None,
+             metrics: Optional[str] = None):
+    """Resolve and load a run's artifacts; returns (events, other, records)."""
+    if run_dir is not None:
+        base = Path(run_dir)
+        trace = trace or (str(base / TRACE_NAME)
+                          if (base / TRACE_NAME).exists() else None)
+        metrics = metrics or (str(base / METRICS_NAME)
+                              if (base / METRICS_NAME).exists() else None)
+    if trace is None and metrics is None:
+        raise FileNotFoundError(
+            f"no {TRACE_NAME} or {METRICS_NAME} found"
+            + (f" under {run_dir}" if run_dir else "")
+        )
+    events: List[dict] = []
+    other: dict = {}
+    if trace is not None:
+        events, other = load_chrome_trace(trace)
+    records = MetricsRegistry.read_jsonl(metrics) if metrics else []
+    return events, other, records
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.report",
+        description="Summarize one recorded run (trace.json + metrics.jsonl).",
+    )
+    parser.add_argument("run_dir", nargs="?", default=None,
+                        help="directory holding trace.json / metrics.jsonl")
+    parser.add_argument("--trace", default=None, help="explicit trace path")
+    parser.add_argument("--metrics", default=None, help="explicit metrics path")
+    parser.add_argument("--top", type=int, default=12,
+                        help="hot-region rows to print")
+    args = parser.parse_args(argv)
+    if args.run_dir is None and args.trace is None and args.metrics is None:
+        parser.error("give a run directory or --trace/--metrics paths")
+    try:
+        events, other, records = load_run(args.run_dir, args.trace, args.metrics)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        print(format_report(events, other, records, top=args.top))
+    except BrokenPipeError:  # e.g. piped into head
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

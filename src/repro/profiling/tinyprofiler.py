@@ -34,24 +34,52 @@ class RegionStats:
 
 
 class TinyProfiler:
-    """Nested region timer with charge (simulated-time) support."""
+    """Nested region timer with charge (simulated-time) support.
+
+    Listeners (see :mod:`repro.observability.adapters`) receive every
+    region enter/exit and charge as it happens, so traces can be exported
+    without changing how regions are declared.
+    """
 
     def __init__(self) -> None:
         self._stats: Dict[Tuple[str, ...], RegionStats] = {}
         self._stack: List[Tuple[str, ...]] = []
+        self._wall_open: set = set()  # paths currently timed by region()
+        self._listeners: List[object] = []
+
+    # -- listeners ---------------------------------------------------------
+    def add_listener(self, listener: object) -> None:
+        """Attach an observer with on_enter/on_exit/on_charge/
+        on_enter_charged/on_exit_charged callbacks (all optional)."""
+        if listener not in self._listeners:
+            self._listeners.append(listener)
+
+    def remove_listener(self, listener: object) -> None:
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+
+    def _notify(self, event: str, *args) -> None:
+        for listener in self._listeners:
+            cb = getattr(listener, event, None)
+            if cb is not None:
+                cb(*args)
 
     @contextmanager
     def region(self, name: str) -> Iterator[None]:
         """Time a region with the wall clock (nests under the current region)."""
         path = tuple(self._stack[-1] if self._stack else ()) + (name,)
         self._stack.append(path)
+        self._wall_open.add(path)
+        self._notify("on_enter", path)
         t0 = time.perf_counter()
         try:
             yield
         finally:
             dt = time.perf_counter() - t0
             self._stack.pop()
+            self._wall_open.discard(path)
             self._accumulate(path, dt)
+            self._notify("on_exit", path, dt)
 
     def charge(self, name: str, seconds: float, calls: int = 1) -> None:
         """Attribute simulated time to a region under the current nesting."""
@@ -59,29 +87,37 @@ class TinyProfiler:
             raise ValueError("cannot charge negative time")
         path = tuple(self._stack[-1] if self._stack else ()) + (name,)
         self._accumulate(path, seconds, calls)
+        self._notify("on_charge", path, seconds, calls)
 
     @contextmanager
     def charged_region(self, name: str) -> Iterator[None]:
         """A zero-wall-time nesting context for structuring charges."""
         path = tuple(self._stack[-1] if self._stack else ()) + (name,)
         self._stack.append(path)
+        self._notify("on_enter_charged", path)
         try:
             yield
         finally:
             self._stack.pop()
             if path not in self._stats:
                 self._stats[path] = RegionStats(name=name)
+            self._notify("on_exit_charged", path)
 
     def _accumulate(self, path: Tuple[str, ...], dt: float, calls: int = 1) -> None:
         stats = self._stats.setdefault(path, RegionStats(name=path[-1]))
         stats.calls += calls
         stats.inclusive += dt
-        if len(path) > 1:
+        while len(path) > 1:
             parent = self._stats.setdefault(path[:-1], RegionStats(name=path[-2]))
             parent.child_time += dt
-            # charging into a never-entered parent still counts as inclusive
-            if parent.calls == 0:
-                parent.inclusive += dt
+            # a parent timed by region() captures this time with its own
+            # clock (open now, or in a previous pass); a never-entered
+            # parent — a charged_region nest — absorbs it as inclusive,
+            # and the roll-up continues to *its* parent in turn
+            if parent.calls > 0 or path[:-1] in self._wall_open:
+                break
+            parent.inclusive += dt
+            path = path[:-1]
 
     # -- queries -----------------------------------------------------------
     def total(self, name: str) -> float:
@@ -108,6 +144,7 @@ class TinyProfiler:
     def reset(self) -> None:
         self._stats.clear()
         self._stack.clear()
+        self._wall_open.clear()
 
     def report(self) -> str:
         """An indented text report (TinyProfiler style): children grouped

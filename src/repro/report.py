@@ -1,0 +1,14 @@
+"""``python -m repro.report``: the run-report CLI.
+
+Thin entry point over :mod:`repro.observability.report` so a recorded run
+directory (``trace.json`` + ``metrics.jsonl``) can be summarized with::
+
+    python -m repro.report <run_dir>
+"""
+
+import sys
+
+from repro.observability.report import main
+
+if __name__ == "__main__":
+    sys.exit(main())

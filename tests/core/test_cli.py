@@ -35,13 +35,51 @@ run.steps = 3
 run.report_every = 1
 """)
     out_dir = tmp_path / "plt"
-    rc = main([deck, "--plotfile", str(out_dir)])
+    rc = main([deck, "--plotfile", str(out_dir), "--profile"])
     assert rc == 0
     text = capsys.readouterr().out
     assert "step     3" in text
     assert "TinyProfiler" in text
+    assert "CommLedger summary" in text
     header = read_plotfile_header(out_dir)
     assert header["step"] == 3
+
+
+def test_cli_profile_off_by_default(tmp_path, capsys):
+    deck = write_deck(tmp_path, """
+crocco.case = sod
+crocco.version = 1.1
+amr.n_cell = 32
+amr.max_grid_size = 32
+run.steps = 1
+run.report_every = 0
+""")
+    assert main([deck]) == 0
+    text = capsys.readouterr().out
+    assert "TinyProfiler" not in text
+
+
+def test_cli_record_and_report_round_trip(tmp_path, capsys):
+    deck = write_deck(tmp_path, """
+crocco.case = sod
+crocco.version = 1.1
+amr.n_cell = 32
+amr.max_grid_size = 32
+run.steps = 2
+run.report_every = 0
+""")
+    run_dir = tmp_path / "run"
+    assert main([deck, "--record", str(run_dir)]) == 0
+    assert (run_dir / "trace.json").exists()
+    assert (run_dir / "metrics.jsonl").exists()
+    capsys.readouterr()
+
+    from repro.observability.report import main as report_main
+
+    assert report_main([str(run_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "hot regions" in out
+    assert "Advance" in out
 
 
 def test_cli_time_target(tmp_path, capsys):

@@ -63,8 +63,46 @@ def test_by_kind():
 
 def test_disable_enable():
     led = CommLedger()
-    led.enabled = False
+    with led.paused():
+        led.record(0, 1, 100, "reduce")
+    assert len(led) == 0
+
+
+def test_paused_restores_prior_state():
+    led = CommLedger()
+    with led.paused():
+        assert not led.enabled
+        with led.paused():  # nesting keeps the outer pause
+            pass
+        assert not led.enabled
+    assert led.enabled
     led.record(0, 1, 100, "reduce")
+    assert len(led) == 1
+    # an already-disabled ledger stays disabled after the block
+    led.enabled = False
+    with led.paused():
+        pass
+    assert not led.enabled
+
+
+def test_paused_restores_on_exception():
+    led = CommLedger()
+    with pytest.raises(RuntimeError):
+        with led.paused():
+            raise RuntimeError("boom")
+    assert led.enabled
+
+
+def test_clear_by_kind():
+    led = CommLedger()
+    led.record(0, 1, 100, "reduce")
+    led.record(0, 1, 50, "regrid")
+    led.record(1, 2, 25, "reduce")
+    led.clear(kind="reduce")
+    assert led.by_kind() == {"regrid": (1, 50)}
+    with pytest.raises(ValueError):
+        led.clear(kind="warp")
+    led.clear()
     assert len(led) == 0
 
 

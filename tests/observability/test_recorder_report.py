@@ -1,0 +1,129 @@
+"""End-to-end: record a functional run and a simulated export, report both.
+
+The acceptance path of the unified observability layer: a DMR run with
+``trace_out`` / ``metrics_out`` set produces a valid Chrome trace whose
+FillPatch spans nest ParallelCopy / FillBoundary children, a metrics JSONL
+with per-step active cells per level and ledger bytes by kind, and a run
+report consistent with ``TinyProfiler.breakdown("FillPatch")`` — while the
+simulated-Summit weak-scaling driver emits the same schema with charged
+time.
+"""
+
+import pytest
+
+from repro.cases.dmr import DoubleMachReflection
+from repro.core.crocco import Crocco, CroccoConfig
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.report import (
+    format_report,
+    load_run,
+    split_of,
+    summarize_spans,
+)
+from repro.observability.tracer import load_chrome_trace, validate_chrome_trace
+
+
+@pytest.fixture(scope="module")
+def recorded_run(tmp_path_factory):
+    """A short recorded DMR run with two AMR levels."""
+    run_dir = tmp_path_factory.mktemp("run")
+    case = DoubleMachReflection(ncells=(32, 8))
+    sim = Crocco(case, CroccoConfig(
+        version="1.2", nranks=2, ranks_per_node=1, max_level=1,
+        max_grid_size=16, blocking_factor=8, regrid_int=2,
+        trace_out=str(run_dir / "trace.json"),
+        metrics_out=str(run_dir / "metrics.jsonl"),
+    ))
+    sim.initialize()
+    for _ in range(3):
+        sim.step()
+    fp_breakdown = dict(sim.profiler.breakdown("FillPatch"))
+    sim.close()
+    return run_dir, sim, fp_breakdown
+
+
+def test_trace_is_valid_with_nested_fillpatch(recorded_run):
+    run_dir, _sim, _bd = recorded_run
+    import json
+    doc = json.loads((run_dir / "trace.json").read_text())
+    assert validate_chrome_trace(doc) == []
+    events, other = load_chrome_trace(run_dir / "trace.json")
+    assert other["mode"] == "wall"
+    assert other["schema"] == "repro-trace-1"
+    assert other["config"]["case"] == "dmr"
+    # FillPatch spans nest ParallelCopy and FillBoundary children
+    split = split_of(events, "FillPatch")
+    assert "ParallelCopy" in split
+    assert "FillBoundary" in split
+    assert all(v > 0 for v in split.values())
+
+
+def test_metrics_carry_cells_and_ledger_bytes(recorded_run):
+    run_dir, sim, _bd = recorded_run
+    records = MetricsRegistry.read_jsonl(run_dir / "metrics.jsonl")
+    assert len(records) == 3
+    for rec in records:
+        m = rec["metrics"]
+        assert m["active_cells.lev0"] > 0
+        assert m["active_cells.lev1"] > 0
+        assert m["active_cells.total"] == \
+            m["active_cells.lev0"] + m["active_cells.lev1"]
+        assert m["dt"] > 0
+    final = records[-1]["metrics"]
+    # ledger traffic by kind, cumulative, matching the ledger itself
+    assert final["ledger.fillboundary.bytes"] == \
+        sim.comm.ledger.total_bytes("fillboundary")
+    assert final["ledger.parallelcopy.bytes"] > 0
+    assert final["tagged_cells"] > 0
+
+
+def test_report_matches_profiler_breakdown(recorded_run):
+    run_dir, _sim, fp_breakdown = recorded_run
+    events, other, records = load_run(str(run_dir))
+    split = split_of(events, "FillPatch")
+    # the trace-reconstructed FillPatch split agrees with TinyProfiler's
+    for child in ("ParallelCopy", "FillBoundary"):
+        assert split[child] == pytest.approx(fp_breakdown[child], rel=0.15,
+                                             abs=2e-3)
+    regions = summarize_spans(
+        [e for e in events if e.get("cat") in ("region", "charged")]
+    )
+    assert regions["FillPatch"].exclusive >= -1e-9
+    text = format_report(events, other, records)
+    assert "hot regions" in text
+    assert "FillPatch split" in text
+    assert "comms matrix" in text
+    assert "Advance" in text
+
+
+def test_report_cli_exit_codes(recorded_run, tmp_path, capsys):
+    from repro.observability.report import main
+
+    run_dir, _sim, _bd = recorded_run
+    assert main([str(run_dir)]) == 0
+    capsys.readouterr()
+    assert main([str(tmp_path / "nowhere")]) == 2
+
+
+def test_simulated_export_same_schema(tmp_path):
+    from repro.perfmodel.trace_export import export_weak_scaling
+
+    table = tuple((n, 6 * n, 5.0e6 * n) for n in (4, 16))
+    paths = export_weak_scaling(tmp_path / "sim", version="2.1", table=table)
+    events, other = load_chrome_trace(paths["trace"])
+    assert other["mode"] == "charged"
+    assert other["schema"] == "repro-trace-1"
+    # same nested FillPatch split as the functional artifacts
+    split = split_of(events, "FillPatch")
+    assert "ParallelCopy" in split and "FillBoundary" in split
+    records = MetricsRegistry.read_jsonl(paths["metrics"])
+    assert len(records) == 2
+    for rec, (nodes, _g, _p) in zip(records, table):
+        assert rec["metrics"]["nodes"] == nodes
+        assert rec["metrics"]["active_cells.lev0"] > 0
+    # charged time accumulates across steps
+    assert records[1]["time"] > records[0]["time"] > 0
+    # the same report renderer handles the charged artifacts
+    text = format_report(events, other, records)
+    assert "charged time" in text
+    assert "FillPatch" in text

@@ -1,0 +1,152 @@
+"""Tests for the Tracer: spans, charged clocks, Chrome-trace export."""
+
+import json
+
+import pytest
+
+from repro.observability.tracer import (
+    DRIVER_STREAM,
+    GPU_STREAM,
+    Tracer,
+    load_chrome_trace,
+    validate_chrome_trace,
+)
+
+
+def fake_clock():
+    """A controllable monotonic clock."""
+    state = {"t": 0.0}
+
+    def clock():
+        return state["t"]
+
+    clock.advance = lambda dt: state.__setitem__("t", state["t"] + dt)
+    return clock
+
+
+def test_wall_span_nesting():
+    clock = fake_clock()
+    tr = Tracer(clock=clock)
+    with tr.span("outer"):
+        clock.advance(1.0)
+        with tr.span("inner"):
+            clock.advance(0.5)
+        clock.advance(0.25)
+    evs = tr.events()
+    by_name = {e["name"]: e for e in evs}
+    # inner closes first (stack order), outer covers it
+    assert evs[0]["name"] == "inner"
+    assert by_name["inner"]["dur"] == pytest.approx(0.5e6)
+    assert by_name["outer"]["dur"] == pytest.approx(1.75e6)
+    assert by_name["outer"]["ts"] <= by_name["inner"]["ts"]
+    assert (by_name["inner"]["ts"] + by_name["inner"]["dur"]
+            <= by_name["outer"]["ts"] + by_name["outer"]["dur"])
+
+
+def test_end_without_open_span_raises():
+    tr = Tracer()
+    with pytest.raises(RuntimeError):
+        tr.end()
+    # tracks are independent
+    tr.begin("a", rank=1)
+    with pytest.raises(RuntimeError):
+        tr.end(rank=0)
+    tr.end(rank=1)
+
+
+def test_charge_advances_cursor_and_rejects_negative():
+    tr = Tracer()
+    tr.charge("A", 2.0)
+    tr.charge("B", 3.0)
+    assert tr.cursor_us() == pytest.approx(5.0e6)
+    a, b = tr.events()
+    assert a["ts"] == pytest.approx(0.0)
+    assert b["ts"] == pytest.approx(2.0e6)
+    assert b["dur"] == pytest.approx(3.0e6)
+    with pytest.raises(ValueError):
+        tr.charge("C", -1.0)
+
+
+def test_charged_span_covers_children():
+    tr = Tracer()
+    with tr.charged_span("FillPatch"):
+        tr.charge("FillBoundary", 1.0)
+        tr.charge("ParallelCopy", 2.0)
+    by_name = {e["name"]: e for e in tr.events()}
+    parent = by_name["FillPatch"]
+    assert parent["dur"] == pytest.approx(3.0e6)
+    for child in ("FillBoundary", "ParallelCopy"):
+        ev = by_name[child]
+        assert ev["ts"] >= parent["ts"]
+        assert ev["ts"] + ev["dur"] <= parent["ts"] + parent["dur"] + 1e-6
+
+
+def test_end_charged_without_open_raises():
+    tr = Tracer()
+    with pytest.raises(RuntimeError):
+        tr.end_charged()
+
+
+def test_tracks_are_independent():
+    tr = Tracer()
+    tr.charge("k", 1.0, rank=0, stream=GPU_STREAM)
+    tr.charge("r", 5.0, rank=1, stream=DRIVER_STREAM)
+    assert tr.cursor_us(0, GPU_STREAM) == pytest.approx(1.0e6)
+    assert tr.cursor_us(1, DRIVER_STREAM) == pytest.approx(5.0e6)
+    assert tr.cursor_us(0, DRIVER_STREAM) == 0.0
+
+
+def test_chrome_doc_schema_and_metadata():
+    tr = Tracer()
+    tr.set_process_name(0, "rank 0")
+    tr.set_thread_name(0, GPU_STREAM, "gpu stream")
+    tr.charge("A", 1.0)
+    tr.instant("regrid")
+    tr.counter("cells", {"lev0": 100.0})
+    doc = tr.to_chrome(other_data={"mode": "charged"})
+    assert validate_chrome_trace(doc) == []
+    assert doc["otherData"] == {"mode": "charged"}
+    phases = {e["ph"] for e in doc["traceEvents"]}
+    assert {"M", "X", "i", "C"} <= phases
+    meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+    names = {(e["name"], e["pid"], e["tid"]) for e in meta}
+    assert ("process_name", 0, 0) in names
+    assert ("thread_name", 0, GPU_STREAM) in names
+
+
+def test_validate_catches_bad_documents():
+    assert validate_chrome_trace([]) != []
+    assert validate_chrome_trace({"events": []}) != []
+    bad_x = {"traceEvents": [
+        {"name": "a", "ph": "X", "ts": 0.0, "pid": 0, "tid": 0},
+    ]}
+    assert any("dur" in p for p in validate_chrome_trace(bad_x))
+    neg = {"traceEvents": [
+        {"name": "a", "ph": "X", "ts": -1.0, "dur": -2.0, "pid": 0, "tid": 0},
+    ]}
+    problems = validate_chrome_trace(neg)
+    assert any("negative duration" in p for p in problems)
+    assert any("negative timestamp" in p for p in problems)
+    missing = {"traceEvents": [{"ph": "i", "ts": 0.0}]}
+    assert any("missing field" in p for p in validate_chrome_trace(missing))
+
+
+def test_write_and_load_round_trip(tmp_path):
+    tr = Tracer()
+    with tr.charged_span("outer"):
+        tr.charge("inner", 0.5, args={"calls": 3})
+    path = tr.write(tmp_path / "deep" / "trace.json",
+                    other_data={"schema": "repro-trace-1"})
+    events, other = load_chrome_trace(path)
+    assert other["schema"] == "repro-trace-1"
+    spans = [e for e in events if e["ph"] == "X"]
+    assert {e["name"] for e in spans} == {"outer", "inner"}
+    inner = next(e for e in spans if e["name"] == "inner")
+    assert inner["args"]["calls"] == 3
+
+
+def test_load_rejects_invalid_trace(tmp_path):
+    p = tmp_path / "bad.json"
+    p.write_text(json.dumps({"traceEvents": [{"ph": "X"}]}))
+    with pytest.raises(ValueError):
+        load_chrome_trace(p)

@@ -66,6 +66,84 @@ def test_exclusive_time():
     assert s.inclusive == pytest.approx(6.0)
 
 
+def test_charge_into_never_entered_parent():
+    """Charging under a charged_region whose parent never ran with the
+    wall clock still rolls the child's time into the parent's inclusive."""
+    prof = TinyProfiler()
+    with prof.charged_region("FillPatch"):
+        prof.charge("ParallelCopy", 2.0)
+        with prof.charged_region("FillBoundary"):
+            prof.charge("FillBoundary_nowait", 0.5)
+            prof.charge("FillBoundary_finish", 0.25)
+    assert prof.total("FillPatch") == pytest.approx(2.75)
+    assert prof.total("FillBoundary") == pytest.approx(0.75)
+    # the never-entered parents have zero calls but carry inclusive time
+    fp = prof._stats[("FillPatch",)]
+    assert fp.calls == 0
+    assert fp.inclusive == pytest.approx(2.75)
+    assert fp.exclusive == pytest.approx(0.0)
+
+
+def test_exclusive_invariant_excl_is_incl_minus_children():
+    prof = TinyProfiler()
+    with prof.charged_region("outer"):
+        prof.charge("a", 1.0)
+        prof.charge("b", 2.0)
+    prof.charge("outer", 10.0)  # direct exclusive work
+    s = prof._stats[("outer",)]
+    assert s.inclusive == pytest.approx(13.0)
+    assert s.child_time == pytest.approx(3.0)
+    assert s.exclusive == pytest.approx(s.inclusive - s.child_time)
+    assert s.exclusive >= 0.0
+    # every region in the table satisfies the invariant
+    for stats in prof._stats.values():
+        assert stats.exclusive == pytest.approx(
+            stats.inclusive - stats.child_time)
+        assert stats.exclusive >= -1e-12
+
+
+def test_report_orders_siblings_by_inclusive_time():
+    prof = TinyProfiler()
+    prof.charge("Small", 1.0)
+    prof.charge("Large", 5.0)
+    prof.charge("Medium", 3.0)
+    with prof.charged_region("Large"):
+        prof.charge("child_light", 0.5)
+        prof.charge("child_heavy", 4.0)
+    lines = prof.report().splitlines()
+    order = [l.split()[0] for l in lines[2:]]
+    assert order.index("Large") < order.index("Medium") < order.index("Small")
+    # children appear indented under their parent, heaviest first
+    assert order.index("Large") < order.index("child_heavy") \
+        < order.index("child_light")
+    heavy_line = next(l for l in lines if "child_heavy" in l)
+    assert heavy_line.startswith("  ")
+
+
+def test_listener_callbacks_fire_in_order():
+    events = []
+
+    class Spy:
+        def on_enter(self, path):
+            events.append(("enter", path))
+
+        def on_exit(self, path, dt):
+            events.append(("exit", path))
+
+        def on_charge(self, path, seconds, calls):
+            events.append(("charge", path, seconds))
+
+    prof = TinyProfiler()
+    prof.add_listener(Spy())
+    with prof.region("A"):
+        prof.charge("B", 1.5)
+    assert events == [
+        ("enter", ("A",)),
+        ("charge", ("A", "B"), 1.5),
+        ("exit", ("A",)),
+    ]
+
+
 def test_report_and_reset():
     prof = TinyProfiler()
     with prof.region("A"):

@@ -1,0 +1,23 @@
+#!/usr/bin/env python
+"""Summarize a recorded run directory (trace.json + metrics.jsonl).
+
+Standalone-tool spelling of ``python -m repro.report``: prints the
+hot-region table, FillPatch split, rank-to-rank comms matrix and roofline
+points of one recorded run — functional (wall time) or simulated-Summit
+(charged time).
+
+Usage:  python tools/trace_report.py RUN_DIR [--top N]
+        python tools/trace_report.py --trace trace.json --metrics metrics.jsonl
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.observability.report import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

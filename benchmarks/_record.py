@@ -44,6 +44,7 @@ def record(bench: str, config: str, value: Union[int, float], units: str,
     for k, v in extra.items():
         row[k] = v
     path = results_path()
+    path.parent.mkdir(parents=True, exist_ok=True)
     rows = _load(path)
     rows.append(row)
     path.write_text(json.dumps(rows, indent=1) + "\n")

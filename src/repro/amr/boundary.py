@@ -7,43 +7,116 @@ communicator's ledger as a ``fillboundary`` message between the owning
 ranks.  Ghost cells not covered by any patch (physical-boundary or
 coarse/fine-interface ghosts) are left untouched — those are filled by
 ``BC_Fill`` and by interpolation in FillPatchTwoLevels respectively.
+
+The exchange is split MPI-style into a *nowait* half that packs send
+buffers from valid data (and logs the messages) and a *finish* half that
+unpacks them into ghost cells — mirroring ``FillBoundary_nowait`` /
+``FillBoundary_finish`` in AMReX, which is what lets the runtime overlap
+the in-flight exchange with interior computation.  The classic eager
+:func:`fill_boundary` is the two halves run back to back; because packing
+reads only valid cells and unpacking writes only ghost cells, the split
+is bit-identical to the old direct-copy loop.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Tuple
 
+import numpy as np
+
+from repro.amr.box import Box
 from repro.amr.geometry import Geometry
 from repro.amr.multifab import MultiFab
+
+
+class FillBoundaryHandle:
+    """An in-flight ghost exchange: posted (packed) but not yet unpacked.
+
+    Created by :func:`fill_boundary_nowait`; call :meth:`finish` to unpack
+    the buffers into ghost cells.  Finishing twice is a no-op.
+    """
+
+    def __init__(self, mf: MultiFab, geom: Optional[Geometry] = None) -> None:
+        self.mf = mf
+        self.geom = geom
+        #: (dst box id, dst region, packed source values) in unpack order
+        self._packets: List[Tuple[int, Box, np.ndarray]] = []
+        self._done = False
+        self._pack()
+
+    def _pack(self) -> None:
+        """Build the exchange plan and snapshot every source region.
+
+        Plan order matches the historical eager loop exactly (direct
+        overlaps first, then periodic images, per destination fab) so
+        unpacking reproduces the same sequence of ghost writes.
+        """
+        mf, geom = self.mf, self.geom
+        if mf.ngrow.max() == 0:
+            return
+        ba = mf.ba
+        for i, dst in mf:
+            grown = dst.grown_box()
+            # direct neighbors (disjoint BoxArray => overlaps lie in ghosts)
+            for j, overlap in ba.intersections(grown):
+                if j == i:
+                    continue
+                buf = np.array(mf.fab(j).view(overlap), copy=True)
+                self._packets.append((i, overlap, buf))
+                mf.comm.send_bytes(mf.dm[j], mf.dm[i], buf.nbytes,
+                                   "fillboundary")
+            # periodic images
+            if geom is not None and any(geom.periodic):
+                for shift in geom.periodic_shifts(grown):
+                    shifted = grown.shift(shift)
+                    for j, overlap in ba.intersections(shifted):
+                        dst_region = overlap.shift(-shift)
+                        # skip the trivial self-overlap of the valid region
+                        if dst.box.contains(dst_region):
+                            continue
+                        buf = np.array(mf.fab(j).view(overlap), copy=True)
+                        self._packets.append((i, dst_region, buf))
+                        mf.comm.send_bytes(mf.dm[j], mf.dm[i], buf.nbytes,
+                                           "fillboundary")
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes currently in flight (0 once finished)."""
+        return sum(buf.nbytes for _, _, buf in self._packets)
+
+    @property
+    def npackets(self) -> int:
+        return len(self._packets)
+
+    def finish(self) -> None:
+        """Unpack every buffered message into its ghost region."""
+        if self._done:
+            return
+        for i, region, buf in self._packets:
+            self.mf.fab(i).view(region)[...] = buf
+        self._packets.clear()
+        self._done = True
+
+
+def fill_boundary_nowait(mf: MultiFab,
+                         geom: Optional[Geometry] = None) -> FillBoundaryHandle:
+    """Post the ghost exchange for ``mf``: pack buffers, log messages.
+
+    Returns a handle whose :meth:`~FillBoundaryHandle.finish` writes the
+    ghost cells.  Between post and finish the valid data of ``mf`` may be
+    read freely, and unrelated computation may write *other* MultiFabs —
+    the gap the runtime fills with interior kernels.
+    """
+    return FillBoundaryHandle(mf, geom)
 
 
 def fill_boundary(mf: MultiFab, geom: Optional[Geometry] = None) -> None:
     """Fill ghost cells of every fab in ``mf`` from neighboring valid data.
 
-    ``geom`` supplies periodicity; without it only direct overlaps are used.
+    ``geom`` supplies periodicity; without it only direct overlaps are
+    used.  Equivalent to posting the exchange and finishing immediately.
     """
-    if mf.ngrow.max() == 0:
-        return
-    ba = mf.ba
-    for i, dst in mf:
-        grown = dst.grown_box()
-        # direct neighbors (disjoint BoxArray => overlaps lie in ghost region)
-        for j, overlap in ba.intersections(grown):
-            if j == i:
-                continue
-            nbytes = dst.copy_from(mf.fab(j), overlap)
-            mf.comm.send_bytes(mf.dm[j], mf.dm[i], nbytes, "fillboundary")
-        # periodic images
-        if geom is not None and any(geom.periodic):
-            for shift in geom.periodic_shifts(grown):
-                shifted = grown.shift(shift)
-                for j, overlap in ba.intersections(shifted):
-                    dst_region = overlap.shift(-shift)
-                    # skip the trivial self-overlap of the valid region
-                    if dst.box.contains(dst_region):
-                        continue
-                    nbytes = dst.copy_shifted_from(mf.fab(j), dst_region, shift)
-                    mf.comm.send_bytes(mf.dm[j], mf.dm[i], nbytes, "fillboundary")
+    fill_boundary_nowait(mf, geom).finish()
 
 
 def boundary_regions(mf: MultiFab, i: int):

@@ -39,6 +39,114 @@ def _region(profiler, name: str):
     return profiler.region(name) if profiler is not None else nullcontext()
 
 
+class FillPatchOp:
+    """Nowait/finish split of FillPatchSingleLevel / FillPatchTwoLevels.
+
+    The eager functions below run all phases back to back; the runtime's
+    task graph instead posts the communication halves early and runs
+    interior kernels in the gap.  Phases, in dependency order:
+
+    - :meth:`post_fillboundary` — pack the same-level ghost exchange
+      (``FillBoundary_nowait``); pure communication, reads valid cells.
+    - :meth:`post_coords` — for the curvilinear two-level fill, the
+      *global* ParallelCopy gathering coarse coordinates into a ghosted
+      temporary (the CRoCCo 2.0 bottleneck the paper isolates).
+    - :meth:`finish_fillboundary` — unpack into same-level ghosts
+      (``FillBoundary_finish``).
+    - :meth:`interp_fab` — interpolate coarse data into one fine fab's
+      coarse/fine-interface ghosts (two-level only; needs the posted
+      coordinates and the up-to-date coarse level).
+    - :meth:`apply_bc` — physical boundary conditions.
+
+    Running the phases immediately in this order is bit-identical to the
+    eager functions.
+    """
+
+    def __init__(
+        self,
+        fine: MultiFab,
+        geom_fine: Geometry,
+        bc_fill: Optional[BCFill] = None,
+        time: float = 0.0,
+        crse: Optional[MultiFab] = None,
+        geom_crse: Optional[Geometry] = None,
+        ratio: Optional[IntVectLike] = None,
+        interp: Optional[Interpolator] = None,
+        crse_coords: Optional[MultiFab] = None,
+        fine_coords: Optional[MultiFab] = None,
+    ) -> None:
+        self.fine = fine
+        self.geom_fine = geom_fine
+        self.bc_fill = bc_fill
+        self.time = time
+        self.crse = crse
+        self.geom_crse = geom_crse
+        self.interp = interp
+        self.crse_coords = crse_coords
+        self.fine_coords = fine_coords
+        self.two_level = crse is not None
+        self._r = (IntVect.coerce(ratio, fine.dim)
+                   if ratio is not None else None)
+        self._fb = None
+        self._coords_tmp: Optional[MultiFab] = None
+
+    @property
+    def needs_coords(self) -> bool:
+        return self.two_level and self.interp is not None and self.interp.needs_coords
+
+    def post_fillboundary(self) -> None:
+        """FillBoundary_nowait: pack the same-level ghost exchange."""
+        from repro.amr.boundary import fill_boundary_nowait
+
+        self._fb = fill_boundary_nowait(self.fine, self.geom_fine)
+
+    def post_coords(self) -> None:
+        """The curvilinear interpolator's ParallelCopy: gather the coarse
+        coordinates into a temporary MultiFab with enough extra ghost
+        cells to cover every interpolation stencil.  This is global
+        communication (any rank's coordinates may be needed anywhere)."""
+        if not self.needs_coords:
+            return
+        crse = self.crse
+        if self.crse_coords is None or self.fine_coords is None:
+            raise ValueError("curvilinear interpolation requires coordinate MultiFabs")
+        extra = crse.ngrow + IntVect.filled(crse.dim, self.interp.radius + 1)
+        coords_tmp = MultiFab(crse.ba, crse.dm, self.crse_coords.ncomp,
+                              extra, crse.comm)
+        coords_tmp.parallel_copy(self.crse_coords, fill_ghosts=True)
+        self._coords_tmp = coords_tmp
+
+    def finish_fillboundary(self) -> None:
+        """FillBoundary_finish: unpack buffers into same-level ghosts."""
+        self._fb.finish()
+
+    def interp_fab(self, i: int) -> None:
+        """Interpolate coarse/fine-interface ghosts of fine fab ``i``."""
+        if not self.two_level:
+            return
+        if self.needs_coords and self._coords_tmp is None:
+            raise RuntimeError("post_coords() must run before interp_fab()")
+        fab = self.fine.fab(i)
+        grown = fab.grown_box().intersect(self.geom_fine.domain)
+        for piece in self.fine.ba.complement_in(grown):
+            _interp_piece(
+                fab, piece, self.crse, self._r, self.interp,
+                self._coords_tmp,
+                self.fine_coords.fab(i) if self.fine_coords is not None else None,
+                self.fine.comm, self.fine.dm[i],
+            )
+
+    def apply_bc(self, i: Optional[int] = None) -> None:
+        """Physical boundary fill for one fab (or, by default, all)."""
+        if self.bc_fill is None:
+            return
+        if i is not None:
+            self.bc_fill(self.fine.fab(i), self.geom_fine, self.time)
+            return
+        for _, fab in self.fine:
+            self.bc_fill(fab, self.geom_fine, self.time)
+
+
 def fill_patch_single_level(
     mf: MultiFab,
     geom: Geometry,
@@ -47,11 +155,11 @@ def fill_patch_single_level(
     profiler=None,
 ) -> None:
     """FillBoundary plus physical boundary conditions for one level."""
+    op = FillPatchOp(mf, geom, bc_fill, time)
     with _region(profiler, "FillBoundary"):
-        mf.fill_boundary(geom)
-    if bc_fill is not None:
-        for _, fab in mf:
-            bc_fill(fab, geom, time)
+        op.post_fillboundary()
+        op.finish_fillboundary()
+    op.apply_bc()
 
 
 def fill_patch_two_levels(
@@ -68,36 +176,17 @@ def fill_patch_two_levels(
     profiler=None,
 ) -> None:
     """Fill ``fine``'s ghost cells from fine neighbors and coarse data."""
-    r = IntVect.coerce(ratio, fine.dim)
+    op = FillPatchOp(fine, geom_fine, bc_fill, time, crse=crse,
+                     geom_crse=geom_crse, ratio=ratio, interp=interp,
+                     crse_coords=crse_coords, fine_coords=fine_coords)
     with _region(profiler, "FillBoundary"):
-        fine.fill_boundary(geom_fine)
-
+        op.post_fillboundary()
+        op.finish_fillboundary()
     with _region(profiler, "ParallelCopy"):
-        coords_tmp = None
-        if interp.needs_coords:
-            if crse_coords is None or fine_coords is None:
-                raise ValueError("curvilinear interpolation requires coordinate MultiFabs")
-            # The custom curvilinear interpolator's ParallelCopy: gather the
-            # coarse coordinates into a temporary MultiFab with enough extra
-            # ghost cells to cover every interpolation stencil.  This is global
-            # communication (any rank's coordinates may be needed anywhere).
-            extra = crse.ngrow + IntVect.filled(crse.dim, interp.radius + 1)
-            coords_tmp = MultiFab(crse.ba, crse.dm, crse_coords.ncomp, extra, crse.comm)
-            coords_tmp.parallel_copy(crse_coords, fill_ghosts=True)
-
-        fine_domain = geom_fine.domain
-        for i, fab in fine:
-            grown = fab.grown_box().intersect(fine_domain)
-            for piece in fine.ba.complement_in(grown):
-                _interp_piece(
-                    fab, piece, crse, r, interp,
-                    coords_tmp if coords_tmp is not None else None,
-                    fine_coords.fab(i) if fine_coords is not None else None,
-                    fine.comm, fine.dm[i],
-                )
-    if bc_fill is not None:
-        for _, fab in fine:
-            bc_fill(fab, geom_fine, time)
+        op.post_coords()
+        for i, _ in fine:
+            op.interp_fab(i)
+    op.apply_bc()
 
 
 def fill_coarse_patch(

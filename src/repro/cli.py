@@ -3,7 +3,7 @@
 Usage::
 
     python -m repro inputs.deck [--steps N | --time T] [--plotfile DIR]
-                    [--profile] [--record DIR]
+                    [--profile] [--record DIR] [--executor serial|pool]
 
 Deck keys (beyond the ones :class:`repro.io.inputs.InputDeck` maps onto
 :class:`~repro.core.crocco.CroccoConfig`)::
@@ -20,6 +20,8 @@ Deck keys (beyond the ones :class:`repro.io.inputs.InputDeck` maps onto
     run.trace_out   = trace.json     # Chrome trace-event JSON (Perfetto)
     run.metrics_out = metrics.jsonl  # per-timestep metrics time series
     run.profile     = true           # print profiler + ledger reports at end
+    runtime.executor = serial        # or pool: multiprocessing task runtime
+    runtime.workers  = 4             # pool worker count (default: CPU count)
 
 Summarize a recorded run afterwards with ``python -m repro.report DIR``.
 """
@@ -89,6 +91,13 @@ def main(argv: Optional[list] = None) -> int:
                         help="override run.trace_out (Chrome trace JSON path)")
     parser.add_argument("--metrics-out", default=None,
                         help="override run.metrics_out (metrics JSONL path)")
+    parser.add_argument("--executor", default=None,
+                        choices=["serial", "pool"],
+                        help="override runtime.executor: 'serial' "
+                             "(deterministic in-process) or 'pool' "
+                             "(multiprocessing workers, comm/compute overlap)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="override runtime.workers (pool size)")
     args = parser.parse_args(argv)
 
     deck = InputDeck.from_file(args.deck)
@@ -105,6 +114,10 @@ def main(argv: Optional[list] = None) -> int:
         config.metrics_out = args.metrics_out
     if args.profile:
         config.profile = True
+    if args.executor:
+        config.executor = args.executor
+    if args.workers:
+        config.workers = args.workers
     sim = Crocco(case, config)
     restart = deck.get_str("run.restart")
     if restart:
@@ -115,7 +128,8 @@ def main(argv: Optional[list] = None) -> int:
         sim.initialize()
     print(f"case {case.name}: {case.domain_cells} cells, "
           f"CRoCCo {config.version}, {sim.finest_level + 1} level(s), "
-          f"{sim.comm.nranks} simulated rank(s)")
+          f"{sim.comm.nranks} simulated rank(s), "
+          f"executor {sim.engine.name}")
 
     nsteps = args.steps if args.steps is not None else deck.get_int("run.steps")
     t_end = args.time if args.time is not None else deck.get_float("run.time")

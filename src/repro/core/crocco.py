@@ -31,7 +31,6 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.amr.amrcore import AmrConfig, AmrCore
-from repro.amr.average_down import average_down
 from repro.amr.boxarray import BoxArray
 from repro.amr.distribution import DistributionMapping
 from repro.amr.fillpatch import fill_patch_single_level, fill_patch_two_levels, fill_coarse_patch
@@ -90,6 +89,15 @@ class CroccoConfig:
     metrics_out: Optional[str] = None
     #: print the TinyProfiler report and ledger summary at end of run (CLI)
     profile: bool = False
+    #: task execution backend: "serial" (deterministic, in-process) or
+    #: "pool" (multiprocessing workers over shared-memory FABs); the
+    #: REPRO_EXECUTOR env var overrides the default for CI matrices
+    executor: str = field(
+        default_factory=lambda: os.environ.get("REPRO_EXECUTOR", "serial"))
+    #: pool worker count (default: one per CPU core, minimum two)
+    workers: Optional[int] = field(
+        default_factory=lambda: int(os.environ["REPRO_WORKERS"])
+        if os.environ.get("REPRO_WORKERS") else None)
 
     def resolve_version(self) -> VersionConfig:
         return get_version(self.version)
@@ -155,6 +163,11 @@ class Crocco(AmrCore):
         #: tagged-cell count per level from the most recent error estimate
         self.last_tag_counts: Dict[int, int] = {}
 
+        from repro.runtime.engine import RuntimeEngine
+
+        self.engine = RuntimeEngine(self, self.config.executor,
+                                    self.config.workers)
+
         self.recorder = None
         if self.config.trace_out or self.config.metrics_out:
             from repro.observability.recorder import RunRecorder
@@ -162,6 +175,7 @@ class Crocco(AmrCore):
             self.recorder = RunRecorder(trace_out=self.config.trace_out,
                                         metrics_out=self.config.metrics_out)
             self.recorder.attach(self)
+            self.engine.bind_tracer(self.recorder.tracer)
 
     # -- initialization (InitGrid / InitGridMetrics / InitFlow) ---------------
     def initialize(self) -> None:
@@ -190,6 +204,7 @@ class Crocco(AmrCore):
             written = self.recorder.finalize(self)
             for kind, path in written.items():
                 print(f"wrote {kind} {path}")
+        self.engine.close()
         if self._coords_file and os.path.exists(self._coords_file):
             os.unlink(self._coords_file)
             self._coords_file = None
@@ -281,6 +296,9 @@ class Crocco(AmrCore):
                         self.kernels.register_state(nbytes, self.devices[r])
                     )
             self._residency[lev] = handles
+        engine = getattr(self, "engine", None)
+        if engine is not None:
+            engine.adopt_level(lev)
 
     def _get_coords(self, geom, region) -> np.ndarray:
         """getCoords(): from memory (analytic mapping) or from the file."""
@@ -293,6 +311,9 @@ class Crocco(AmrCore):
         return self.case.coordinates(geom, region)
 
     def _clear_level_storage(self, lev: int) -> None:
+        engine = getattr(self, "engine", None)
+        if engine is not None:
+            engine.release_level(lev)
         for store in (self.state, self.du, self.coords, self.metrics):
             store.pop(lev, None)
         for handle in self._residency.pop(lev, []) or []:
@@ -383,38 +404,20 @@ class Crocco(AmrCore):
 
     # -- Algorithm 2: RK3 advance ------------------------------------------
     def _rk3(self, dt: float) -> None:
+        """One RK3 advance, executed as per-stage task graphs.
+
+        The runtime engine builds a graph per stage (FillPatch split into
+        nowait/finish halves, per-box kernels, AverageDown) and runs it on
+        the configured executor; the ``serial`` executor reproduces the
+        historical eager loop bit for bit.
+        """
         with self.profiler.region("Advance"):
             for lev in range(self.finest_level + 1):
                 self.du[lev].set_val(0.0)
+            self.engine.begin_step()
             for stage in range(NSTAGES):
-                for lev in range(self.finest_level + 1):
-                    self._fill_patch(lev)
-                    self._bc_fill(lev)
-                    mf = self.state[lev]
-                    for i, fab in mf:
-                        dev = self._device_of(mf.dm[i])
-                        rhs = self.kernels.rhs(
-                            fab.whole(), self.metrics[lev][i], self.ng,
-                            device=dev,
-                        )
-                        src = self.case.source(
-                            fab.valid(), self.coords[lev].fab(i).valid(),
-                            self.time,
-                            metrics=self.metrics[lev][i].interior(self.ng),
-                        )
-                        if src is not None:
-                            rhs = rhs + src
-                        self.kernels.update(
-                            fab.valid(), self.du[lev].fab(i).valid(), rhs,
-                            dt, stage, device=dev,
-                        )
-                if stage == NSTAGES - 1:
-                    with self.profiler.region("AverageDown"):
-                        for lev in range(self.finest_level - 1, -1, -1):
-                            average_down(
-                                self.state[lev + 1], self.state[lev],
-                                self.ref_ratio_iv(),
-                            )
+                self.engine.run_stage(dt, stage)
+            self.engine.end_step()
 
     def _device_of(self, rank: int):
         """The owning rank's simulated GPU (None on CPU backends)."""

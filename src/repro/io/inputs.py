@@ -102,6 +102,13 @@ class InputDeck:
             metrics_out=self.get_str("run.metrics_out", None),
             profile=self.get_bool("run.profile", False),
         )
+        # runtime keys keep their env-var defaults unless the deck sets them
+        executor = self.get_str("runtime.executor")
+        if executor:
+            cfg.executor = executor
+        workers = self.get_int("runtime.workers")
+        if workers:
+            cfg.workers = workers
         # run.record = DIR is shorthand for both artifacts in one run dir
         record = self.get_str("run.record")
         if record:

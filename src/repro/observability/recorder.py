@@ -86,6 +86,11 @@ class RunRecorder:
             g("device.high_water_bytes.max").set(
                 max(d.high_water for d in sim.devices)
             )
+        engine = getattr(sim, "engine", None)
+        if engine is not None and engine.last_step_report is not None:
+            rep = engine.last_step_report
+            for name, value in rep.as_dict().items():
+                g(f"runtime.{name}").set(value)
         rec = self.metrics.sample(sim.step_count, sim.time)
         self.tracer.counter(
             "active_cells", {"cells": float(total_cells)}, rank=0
@@ -108,6 +113,8 @@ class RunRecorder:
                 "ranks_per_node": sim.comm.ranks_per_node,
                 "max_level": cfg.max_level,
                 "backend": sim.kernels.backend,
+                "executor": getattr(sim, "engine", None).name
+                if getattr(sim, "engine", None) is not None else "serial",
             }
             other["nranks"] = sim.comm.nranks
         if self.ledger_adapter is not None:

@@ -7,6 +7,8 @@ prints:
 - a hot-region table (calls, inclusive / exclusive seconds) computed from
   span nesting, the TinyProfiler view reconstructed from artifacts alone;
 - the FillPatch split (FillBoundary vs ParallelCopy time, Fig. 7's axis);
+- the runtime Overlap section (per-step posted vs finished comm time,
+  measured comm/compute overlap, worker idle %, task counts by kind);
 - a rank-to-rank communication matrix from the recorded ledger traffic;
 - roofline points (arithmetic intensity per memory level, modeled
   achieved flops) from the per-kernel flop/byte counters (Fig. 4's axis);
@@ -96,6 +98,33 @@ def split_of(events: Sequence[dict], parent: str) -> Dict[str, float]:
 
 
 # -- metrics analysis -------------------------------------------------------
+
+def overlap_rows(records: Sequence[dict]) -> List[dict]:
+    """Per-step runtime scheduler statistics (the ``runtime.*`` gauges).
+
+    One row per recorded step that carried runtime data: posted/finished
+    comm seconds, compute seconds, measured overlap, worker idle
+    fraction, and task counts by kind.
+    """
+    rows: List[dict] = []
+    for rec in records:
+        m = rec["metrics"]
+        if "runtime.makespan_s" not in m:
+            continue
+        row = {"step": rec["step"],
+               "posted": m.get("runtime.posted_comm_s", 0.0),
+               "finish": m.get("runtime.finish_comm_s", 0.0),
+               "compute": m.get("runtime.compute_s", 0.0),
+               "overlap": m.get("runtime.overlap_s", 0.0),
+               "overlap_frac": m.get("runtime.overlap_frac", 0.0),
+               "idle_frac": m.get("runtime.idle_frac", 0.0),
+               "workers": int(m.get("runtime.workers", 1)),
+               "tasks": {k.split("runtime.tasks.", 1)[1]: int(v)
+                         for k, v in m.items()
+                         if k.startswith("runtime.tasks.")}}
+        rows.append(row)
+    return rows
+
 
 def kernel_totals(records: Sequence[dict]) -> Dict[str, Dict[str, float]]:
     """Final cumulative per-kernel counters: {kernel: {field: value}}."""
@@ -189,6 +218,32 @@ def format_report(events: Sequence[dict], other: dict,
         for name in sorted(split, key=lambda n: -split[n]):
             lines.append(f"{name:<26s} {split[name]:>12.6f}s "
                          f"{split[name] / total:>6.1%}")
+
+    # runtime comm/compute overlap
+    orows = overlap_rows(records)
+    if orows:
+        lines.append("")
+        last = orows[-1]
+        lines.append(f"-- overlap (task runtime, {last['workers']} worker(s)) --")
+        lines.append(f"{'step':>6s} {'posted[s]':>10s} {'finish[s]':>10s} "
+                     f"{'compute[s]':>11s} {'overlap[s]':>11s} {'ovl%':>6s} "
+                     f"{'idle%':>6s}")
+        for row in orows[-top:]:
+            lines.append(
+                f"{row['step']:>6d} {row['posted']:>10.6f} "
+                f"{row['finish']:>10.6f} {row['compute']:>11.6f} "
+                f"{row['overlap']:>11.6f} {row['overlap_frac']:>6.1%} "
+                f"{row['idle_frac']:>6.1%}")
+        totals = {k: sum(r[k] for r in orows)
+                  for k in ("posted", "finish", "compute", "overlap")}
+        lines.append(
+            f"{'total':>6s} {totals['posted']:>10.6f} "
+            f"{totals['finish']:>10.6f} {totals['compute']:>11.6f} "
+            f"{totals['overlap']:>11.6f}")
+        kinds = last["tasks"]
+        if kinds:
+            lines.append("  tasks/step: " + ", ".join(
+                f"{k.replace('_', '-')}={kinds[k]}" for k in sorted(kinds)))
 
     # comms matrix
     matrix = other.get("comms_matrix")

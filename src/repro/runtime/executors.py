@@ -1,0 +1,188 @@
+"""Pluggable task executors: ``serial`` and a real multiprocessing ``pool``.
+
+``serial``
+    Runs every task inline in the driver process, in the deterministic
+    order the scheduler dictates — bit-identical to the legacy eager
+    driver (task internals are the same arithmetic, and only mutually
+    independent tasks are ever reordered).
+
+``pool``
+    A persistent ``multiprocessing`` pool (fork start method) that runs
+    *offloadable* tasks — those carrying a picklable ``payload`` and
+    operating on SharedMemory-backed FABs — on separate cores, the
+    on-node stand-in for MPI ranks.  Communication, boundary-condition
+    and interpolation tasks still run inline in the driver, which is
+    exactly the comm/compute overlap structure the paper exploits: the
+    driver packs/unpacks halos while workers churn through box kernels.
+
+Workers inherit the driver's kernel set and case via fork (set with
+:func:`set_worker_context` just before the pool starts), so nothing
+heavyweight is pickled per task: a task payload is a small dict of
+shared-memory metadata plus the per-box metrics.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue
+import time
+from typing import Callable, Optional, Tuple
+
+from repro.runtime.shm import attach_array
+
+EXECUTORS = ("serial", "pool")
+
+#: (kernels, case) globals inherited by forked workers
+_WORKER_CTX: Optional[tuple] = None
+
+
+def set_worker_context(kernels, case) -> None:
+    """Install the state forked pool workers will inherit."""
+    global _WORKER_CTX
+    _WORKER_CTX = (kernels, case)
+
+
+def _run_payload(spec: dict) -> Tuple[int, float]:
+    """Execute one offloaded task spec; returns (worker pid, seconds).
+
+    Runs in a worker process (or inline as a fallback).  Data arrays are
+    attached from shared memory and mutated in place; nothing but the
+    timing travels back.
+    """
+    t0 = time.perf_counter()
+    op = spec["op"]
+    if op == "rhs_update":
+        _rhs_update(spec)
+    else:  # pragma: no cover - future ops
+        raise ValueError(f"unknown payload op {op!r}")
+    return os.getpid(), time.perf_counter() - t0
+
+
+def _rhs_update(spec: dict) -> None:
+    """One box's RK stage: RHS evaluation + source + low-storage update."""
+    if _WORKER_CTX is None:  # pragma: no cover - guarded by PoolExecutor
+        raise RuntimeError("worker context not set (set_worker_context)")
+    kernels, case = _WORKER_CTX
+    u = attach_array(spec["state"])
+    du = attach_array(spec["du"])
+    coords = attach_array(spec["coords"])
+    metrics = spec["metrics"]
+    ng = spec["ng"]
+    valid = (slice(None),) + tuple(slice(ng, s - ng) for s in u.shape[1:])
+    rhs = kernels.rhs(u, metrics, ng, device=None)
+    src = case.source(u[valid], coords[valid], spec["time"],
+                      metrics=metrics.interior(ng))
+    if src is not None:
+        rhs = rhs + src
+    kernels.update(u[valid], du, rhs, spec["dt"], spec["stage"], device=None)
+
+
+class SerialExecutor:
+    """Deterministic inline execution (the default)."""
+
+    name = "serial"
+    nworkers = 1
+
+    def can_offload(self, task) -> bool:
+        return False
+
+    def submit(self, task, on_done: Callable) -> None:  # pragma: no cover
+        raise RuntimeError("serial executor cannot offload tasks")
+
+    def in_flight(self) -> int:
+        return 0
+
+    def poll(self) -> bool:
+        return False
+
+    def wait_one(self, timeout: float = None):  # pragma: no cover
+        raise RuntimeError("serial executor has no pending tasks")
+
+    def shutdown(self) -> None:
+        pass
+
+
+class PoolExecutor:
+    """Real multiprocessing over shared-memory FABs.
+
+    The pool is created lazily on first offload so the fork snapshots a
+    fully constructed driver (kernel set, case, devices).  Requires the
+    ``fork`` start method (POSIX); elsewhere construction raises and the
+    caller should fall back to ``serial``.
+    """
+
+    name = "pool"
+
+    def __init__(self, nworkers: Optional[int] = None) -> None:
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise RuntimeError(
+                "the pool executor needs the 'fork' start method; "
+                "use runtime.executor=serial on this platform"
+            )
+        self.nworkers = max(2, int(nworkers) if nworkers else
+                            (os.cpu_count() or 2))
+        self._pool = None
+        self._done: "queue.Queue" = queue.Queue()
+        self._pending = 0
+        self._worker_ids = {}  # pid -> stable small index
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            if _WORKER_CTX is None:
+                raise RuntimeError(
+                    "set_worker_context() must run before the pool starts"
+                )
+            ctx = multiprocessing.get_context("fork")
+            self._pool = ctx.Pool(processes=self.nworkers)
+        return self._pool
+
+    def can_offload(self, task) -> bool:
+        return task.payload is not None
+
+    def submit(self, task, on_done: Callable) -> None:
+        """Dispatch one offloadable task; ``on_done(task, worker, dur)``
+        fires from the scheduler loop (not the callback thread)."""
+        pool = self._ensure_pool()
+        self._pending += 1
+
+        def _cb(result, _task=task, _done=on_done):
+            self._done.put((_task, _done, result, None))
+
+        def _err(exc, _task=task, _done=on_done):
+            self._done.put((_task, _done, None, exc))
+
+        pool.apply_async(_run_payload, (task.payload,),
+                         callback=_cb, error_callback=_err)
+
+    def in_flight(self) -> int:
+        return self._pending
+
+    def poll(self) -> bool:
+        """True if a completion is waiting to be collected."""
+        return not self._done.empty()
+
+    def wait_one(self, timeout: Optional[float] = None) -> None:
+        """Block for one completion and run its continuation."""
+        task, on_done, result, exc = self._done.get(timeout=timeout)
+        self._pending -= 1
+        if exc is not None:
+            raise RuntimeError(f"pool task {task.name!r} failed: {exc}") from exc
+        pid, dur = result
+        worker = self._worker_ids.setdefault(pid, len(self._worker_ids) + 1)
+        on_done(task, worker, dur)
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+
+def make_executor(name: str, workers: Optional[int] = None):
+    """Build an executor by config name (``runtime.executor``)."""
+    if name == "serial":
+        return SerialExecutor()
+    if name == "pool":
+        return PoolExecutor(workers)
+    raise ValueError(f"unknown executor {name!r}; options {EXECUTORS}")

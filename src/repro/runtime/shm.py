@@ -1,0 +1,135 @@
+"""SharedMemory-backed FAB storage for the pool executor.
+
+Worker processes cannot see the driver's heap, so the ``pool`` executor
+re-homes the patch arrays of the MultiFabs it operates on into
+``multiprocessing.shared_memory`` segments: the driver-side
+:class:`FArrayBox` keeps working unchanged (its ``data`` becomes a view
+into the segment), and workers attach the same segment by name and
+compute in place — no result arrays travel back through pickling.
+
+The arena owns segment lifetime: levels are adopted when their storage
+is built and released when the level is cleared or remade.  On release
+the fab data is copied back to ordinary heap arrays first, so any
+surviving references (e.g. the old state kept alive across a
+``RemakeLevel``) stay valid after the segment is unmapped.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Tuple
+
+import numpy as np
+
+try:
+    from multiprocessing import shared_memory
+except ImportError:  # pragma: no cover - stdlib module on all CPython >= 3.8
+    shared_memory = None
+
+#: (segment name, array shape) — everything a worker needs to attach
+ShmMeta = Tuple[str, Tuple[int, ...]]
+
+
+class SharedArena:
+    """Shared-memory segments backing adopted MultiFab patch arrays."""
+
+    def __init__(self) -> None:
+        if shared_memory is None:  # pragma: no cover
+            raise RuntimeError("multiprocessing.shared_memory is unavailable")
+        # tag -> box id -> (fab, segment)
+        self._blocks: Dict[Hashable, Dict[int, Tuple[object, object]]] = {}
+        self._graveyard: List[object] = []
+
+    def adopt_multifab(self, tag: Hashable, mf) -> None:
+        """Move every fab of ``mf`` into its own shared segment, in place."""
+        if tag in self._blocks:
+            raise ValueError(f"arena tag {tag!r} already adopted")
+        boxes: Dict[int, Tuple[object, object]] = {}
+        for i, fab in mf:
+            seg = shared_memory.SharedMemory(create=True,
+                                             size=fab.data.nbytes)
+            arr = np.ndarray(fab.data.shape, dtype=fab.data.dtype,
+                             buffer=seg.buf)
+            arr[...] = fab.data
+            fab.data = arr
+            boxes[i] = (fab, seg)
+        self._blocks[tag] = boxes
+
+    def meta(self, tag: Hashable, box: int) -> ShmMeta:
+        """The (segment name, shape) a worker needs to attach one fab."""
+        fab, seg = self._blocks[tag][box]
+        return (seg.name, tuple(fab.data.shape))
+
+    def has(self, tag: Hashable) -> bool:
+        return tag in self._blocks
+
+    def release(self, tag: Hashable) -> None:
+        """Detach a tag's fabs (copying data back to the heap) and free
+        the segments."""
+        boxes = self._blocks.pop(tag, None)
+        if boxes is None:
+            return
+        for fab, seg in boxes.values():
+            fab.data = np.array(fab.data, copy=True)
+            self._close(seg)
+
+    def release_all(self) -> None:
+        for tag in list(self._blocks):
+            self.release(tag)
+        for seg in list(self._graveyard):
+            try:
+                seg.close()
+                self._graveyard.remove(seg)
+            except BufferError:  # pragma: no cover - still referenced
+                pass
+
+    def _close(self, seg) -> None:
+        try:
+            seg.unlink()
+        except FileNotFoundError:  # pragma: no cover
+            pass
+        try:
+            seg.close()
+        except BufferError:
+            # a lingering view (e.g. metrics built from coords) still
+            # exports the buffer; retry at release_all / interpreter exit
+            self._graveyard.append(seg)
+
+    def __del__(self) -> None:  # pragma: no cover - defensive cleanup
+        try:
+            self.release_all()
+        except Exception:
+            pass
+
+
+# -- worker-side attachment --------------------------------------------------
+
+#: per-process cache of attached segments: name -> (segment, array)
+_ATTACHED: Dict[str, Tuple[object, np.ndarray]] = {}
+_ATTACH_CAP = 512
+
+
+def attach_array(meta: ShmMeta) -> np.ndarray:
+    """Attach (with caching) a shared segment as a float64 ndarray.
+
+    Used inside worker processes.  Workers are forked after the driver's
+    resource tracker exists, so attaching here re-registers the segment
+    with the *same* tracker process (a set, so a no-op) and the driver's
+    ``unlink`` remains the single cleanup point.
+    """
+    name, shape = meta
+    cached = _ATTACHED.get(name)
+    if cached is not None:
+        return cached[1]
+    seg = shared_memory.SharedMemory(name=name)
+    arr = np.ndarray(tuple(shape), dtype=np.float64, buffer=seg.buf)
+    if len(_ATTACHED) >= _ATTACH_CAP:
+        # drop the oldest mapping (its segment was likely unlinked by a
+        # regrid); views handed out earlier keep their own references
+        oldest = next(iter(_ATTACHED))
+        old_seg, _ = _ATTACHED.pop(oldest)
+        try:
+            old_seg.close()
+        except BufferError:
+            pass
+    _ATTACHED[name] = (seg, arr)
+    return arr

@@ -147,8 +147,11 @@ def test_version20_has_global_parallelcopy_21_does_not():
 
 
 def test_gpu_device_accounting_in_driver():
+    # driver-side launch accounting: offloaded pool tasks keep their
+    # launch records in the worker process, so pin the serial executor
     case = SodShockTube(32)
-    sim = Crocco(case, CroccoConfig(version="2.0", max_grid_size=32))
+    sim = Crocco(case, CroccoConfig(version="2.0", max_grid_size=32,
+                                    executor="serial"))
     sim.initialize()
     assert sim.kernels.device.bytes_in_use > 0  # level state resident
     sim.run(2)

@@ -1,0 +1,77 @@
+"""Executor construction and the pool's offload contract."""
+
+import multiprocessing
+
+import pytest
+
+from repro.runtime.executors import (EXECUTORS, PoolExecutor, SerialExecutor,
+                                     make_executor)
+from repro.runtime.graph import TaskGraph
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+class TestFactory:
+    def test_names(self):
+        assert set(EXECUTORS) == {"serial", "pool"}
+        assert isinstance(make_executor("serial"), SerialExecutor)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            make_executor("threads")
+
+    @pytest.mark.skipif(not HAS_FORK, reason="needs fork start method")
+    def test_pool_factory(self):
+        ex = make_executor("pool", workers=3)
+        assert isinstance(ex, PoolExecutor)
+        assert ex.nworkers == 3
+        ex.shutdown()
+
+    @pytest.mark.skipif(not HAS_FORK, reason="needs fork start method")
+    def test_pool_worker_floor(self):
+        # a 1-worker pool can't overlap anything; floor at 2
+        ex = make_executor("pool", workers=1)
+        assert ex.nworkers == 2
+        ex.shutdown()
+
+
+class TestSerial:
+    def test_never_offloads(self):
+        ex = SerialExecutor()
+        g = TaskGraph()
+        t = g.add("t", lambda: None, kind="compute",
+                  payload={"op": "rhs_update"})
+        assert not ex.can_offload(t)
+        assert ex.in_flight() == 0
+        assert not ex.poll()
+        ex.shutdown()  # no-op
+
+
+class TestPool:
+    @pytest.mark.skipif(not HAS_FORK, reason="needs fork start method")
+    def test_offloads_only_payload_tasks(self):
+        ex = PoolExecutor(2)
+        g = TaskGraph()
+        plain = g.add("plain", lambda: None, kind="compute")
+        loaded = g.add("loaded", lambda: None, kind="compute",
+                       payload={"op": "rhs_update"})
+        comm = g.add("comm", lambda: None, kind="comm-wait")
+        assert not ex.can_offload(plain)
+        assert ex.can_offload(loaded)
+        assert not ex.can_offload(comm)
+        ex.shutdown()
+
+    @pytest.mark.skipif(not HAS_FORK, reason="needs fork start method")
+    def test_pool_is_lazy_and_needs_context(self):
+        import repro.runtime.executors as mod
+
+        ex = PoolExecutor(2)
+        assert ex._pool is None  # nothing forked at construction
+        saved = mod._WORKER_CTX
+        mod._WORKER_CTX = None
+        try:
+            with pytest.raises(RuntimeError, match="set_worker_context"):
+                ex._ensure_pool()
+        finally:
+            mod._WORKER_CTX = saved
+            ex.shutdown()

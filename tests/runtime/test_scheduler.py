@@ -1,0 +1,171 @@
+"""Scheduler: priority order, overlap windows, and report accounting."""
+
+import time
+
+from repro.runtime.executors import SerialExecutor
+from repro.runtime.graph import DataKey, TaskGraph
+from repro.runtime.scheduler import (KIND_PRIORITY, ScheduleReport, Scheduler,
+                                     _interval_overlap)
+
+
+def run_serial(graph, **kw):
+    return Scheduler(SerialExecutor(), **kw).run(graph)
+
+
+class TestPriorities:
+    def test_posts_run_before_independent_compute(self):
+        order = []
+        g = TaskGraph()
+        g.add("c", lambda: order.append("c"), kind="compute")
+        g.add("p", lambda: order.append("p"), kind="comm-post")
+        run_serial(g)
+        assert order == ["p", "c"]
+
+    def test_comm_wait_deferred_past_ready_compute(self):
+        order = []
+        g = TaskGraph()
+        p = g.add("p", lambda: order.append("p"), kind="comm-post",
+                  channel="ch")
+        g.add("w", lambda: order.append("w"), kind="comm-wait",
+              channel="ch", after=[p])
+        g.add("c", lambda: order.append("c"), kind="compute")
+        run_serial(g)
+        assert order == ["p", "c", "w"]
+
+    def test_submission_order_breaks_ties(self):
+        order = []
+        g = TaskGraph()
+        for n in range(4):
+            g.add(f"c{n}", lambda n=n: order.append(n), kind="compute")
+        run_serial(g)
+        assert order == [0, 1, 2, 3]
+
+    def test_priority_table_shape(self):
+        assert KIND_PRIORITY["comm-post"] < KIND_PRIORITY["bc"]
+        assert KIND_PRIORITY["bc"] <= KIND_PRIORITY["compute"]
+        assert KIND_PRIORITY["compute"] < KIND_PRIORITY["comm-wait"]
+
+
+class TestDependencies:
+    def test_hazard_chain_executes_in_order(self):
+        log = []
+        g = TaskGraph()
+        k = DataKey("s", 0)
+        g.add("w", lambda: log.append("w"), writes=[k])
+        g.add("r", lambda: log.append("r"), reads=[k])
+        g.add("w2", lambda: log.append("w2"), writes=[k])
+        run_serial(g)
+        assert log == ["w", "r", "w2"]
+
+    def test_all_tasks_run_exactly_once(self):
+        count = {"n": 0}
+        g = TaskGraph()
+        prev = []
+        for n in range(10):
+            prev = [g.add(f"t{n}", lambda: count.__setitem__("n", count["n"] + 1),
+                          after=prev)]
+        run_serial(g)
+        assert count["n"] == 10
+
+
+class TestOverlapMeasurement:
+    def test_compute_inside_window_is_overlap(self):
+        g = TaskGraph()
+        p = g.add("p", lambda: None, kind="comm-post", channel="ch")
+        g.add("w", lambda: None, kind="comm-wait", channel="ch", after=[p])
+        g.add("c", lambda: time.sleep(0.02), kind="compute")
+        rep = run_serial(g)
+        # compute ran between post completion and wait start
+        assert rep.overlap_s > 0.01
+        assert rep.overlap_frac > 0.5
+
+    def test_no_window_no_overlap(self):
+        g = TaskGraph()
+        g.add("c", lambda: time.sleep(0.01), kind="compute")
+        rep = run_serial(g)
+        assert rep.overlap_s == 0.0
+        assert rep.compute_s > 0.0
+
+    def test_compute_before_post_not_counted(self):
+        g = TaskGraph()
+        k = DataKey("s", 0)
+        g.add("c", lambda: time.sleep(0.02), kind="compute", writes=[k])
+        p = g.add("p", lambda: None, kind="comm-post", channel="ch",
+                  reads=[k])
+        g.add("w", lambda: None, kind="comm-wait", channel="ch", after=[p])
+        rep = run_serial(g)
+        assert rep.overlap_s == 0.0
+
+    def test_unclosed_window_closes_at_makespan(self):
+        g = TaskGraph()
+        g.add("p", lambda: None, kind="comm-post", channel="ch")
+        g.add("c", lambda: time.sleep(0.02), kind="compute")
+        rep = run_serial(g)
+        assert rep.overlap_s > 0.01
+
+    def test_interval_overlap_merges_windows(self):
+        spans = [(0.0, 10.0)]
+        windows = [(1.0, 3.0), (2.0, 5.0), (7.0, 8.0)]
+        assert abs(_interval_overlap(spans, windows) - 5.0) < 1e-12
+        assert _interval_overlap([], windows) == 0.0
+        assert _interval_overlap(spans, []) == 0.0
+
+
+class TestReport:
+    def test_counts_and_times(self):
+        g = TaskGraph()
+        p = g.add("p", lambda: None, kind="comm-post", channel="x")
+        g.add("w", lambda: None, kind="comm-wait", channel="x", after=[p])
+        g.add("c", lambda: None, kind="compute")
+        rep = run_serial(g)
+        assert rep.tasks_by_kind == {"comm-post": 1, "comm-wait": 1,
+                                     "compute": 1}
+        assert rep.makespan_s > 0.0
+        assert rep.graphs == 1
+        d = rep.as_dict()
+        assert d["tasks.comm_post"] == 1.0
+        assert "overlap_frac" in d and "idle_frac" in d
+
+    def test_merge_accumulates(self):
+        a = ScheduleReport(tasks_by_kind={"compute": 2}, compute_s=1.0,
+                          overlap_s=0.5, makespan_s=2.0, busy_s=1.0,
+                          nworkers=1, graphs=1)
+        b = ScheduleReport(tasks_by_kind={"compute": 3, "bc": 1},
+                          compute_s=2.0, overlap_s=0.25, makespan_s=1.0,
+                          busy_s=2.0, nworkers=4, graphs=1)
+        a.merge(b)
+        assert a.tasks_by_kind == {"compute": 5, "bc": 1}
+        assert a.compute_s == 3.0 and a.overlap_s == 0.75
+        assert a.nworkers == 4 and a.graphs == 2
+
+    def test_idle_frac_serial_is_low(self):
+        g = TaskGraph()
+        for n in range(3):
+            g.add(f"c{n}", lambda: time.sleep(0.005), kind="compute")
+        rep = run_serial(g)
+        assert rep.idle_frac < 0.5
+
+
+class TestTracer:
+    def test_tasks_become_spans(self):
+        from repro.observability.tracer import Tracer
+
+        tracer = Tracer()
+        g = TaskGraph()
+        g.add("a-task", lambda: None, kind="compute")
+        Scheduler(SerialExecutor(), tracer=tracer).run(g)
+        spans = [e for e in tracer.events()
+                 if e.get("ph") == "X" and e.get("name") == "a-task"]
+        assert len(spans) == 1
+        assert spans[0]["args"]["kind"] == "compute"
+
+    def test_profiler_regions_nested(self):
+        from repro.profiling.tinyprofiler import TinyProfiler
+
+        prof = TinyProfiler()
+        g = TaskGraph()
+        g.add("t", lambda: None, kind="compute",
+              regions=("Outer", "Inner"))
+        Scheduler(SerialExecutor(), profiler=prof).run(g)
+        assert prof.calls("Outer") == 1
+        assert prof.calls("Inner") == 1

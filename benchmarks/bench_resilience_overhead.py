@@ -1,0 +1,82 @@
+"""Resilience overhead: watchdog on vs off on a fault-free run.
+
+The step watchdog snapshots the state hierarchy before every step and
+scans it for NaN/Inf after — protection the production stack pays for on
+every step, faulty or not.  This benchmark measures that cost on a
+fault-free AMR DMR run (watchdog on vs off, same executor) and records
+the overhead fraction to BENCH_results.json; the acceptance target is
+single-digit-percent overhead.
+
+Wall times on shared CI hardware are noisy, so the recorded overhead is
+an observation; what is asserted is correctness — the guarded run must
+reproduce the unguarded run bit for bit (the watchdog only reads state
+on the fault-free path).
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks._record import record
+from benchmarks.conftest import FULL, table
+from repro.cases.dmr import DoubleMachReflection
+from repro.core.crocco import Crocco, CroccoConfig
+
+NCELLS = (96, 24) if FULL else (64, 16)
+NSTEPS = 10 if FULL else 6
+
+
+def _run(watchdog: bool):
+    case = DoubleMachReflection(ncells=NCELLS, curvilinear=True)
+    sim = Crocco(case, CroccoConfig(
+        version="2.0", nranks=6, ranks_per_node=6, max_level=1,
+        max_grid_size=32, blocking_factor=8, regrid_int=2,
+        executor="serial", watchdog=watchdog,
+    ))
+    sim.initialize()
+    t0 = time.perf_counter()
+    sim.run(NSTEPS)
+    wall = time.perf_counter() - t0
+    state = {(lev, i): fab.whole().copy()
+             for lev in range(sim.finest_level + 1)
+             for i, fab in sim.state[lev]}
+    stats = sim.resilience.as_dict()
+    sim.close()
+    return wall, state, stats
+
+
+def test_resilience_overhead(benchmark):
+    def build():
+        # interleave repeats so cache/thermal drift hits both variants
+        on_walls, off_walls = [], []
+        on = off = None
+        for _ in range(3):
+            w, on_state, on_stats = _run(watchdog=True)
+            on_walls.append(w)
+            on = (on_state, on_stats)
+            w, off_state, _ = _run(watchdog=False)
+            off_walls.append(w)
+            off = off_state
+        return min(on_walls), min(off_walls), on, off
+
+    on_wall, off_wall, (on_state, on_stats), off_state = \
+        benchmark.pedantic(build, rounds=1, iterations=1)
+
+    # correctness: the watchdog is transparent on the fault-free path
+    assert set(on_state) == set(off_state)
+    for k in on_state:
+        np.testing.assert_array_equal(on_state[k], off_state[k])
+    assert on_stats["rollbacks"] == 0
+    assert on_stats["step_retries"] == 0
+
+    overhead = on_wall / off_wall - 1.0 if off_wall > 0 else 0.0
+    table(f"Resilience watchdog overhead — DMR {NCELLS}, {NSTEPS} steps, "
+          "fault-free (best of 3)",
+          ("watchdog", "wall[s]", "overhead"),
+          [("off", f"{off_wall:.3f}", "-"),
+           ("on", f"{on_wall:.3f}", f"{overhead:+.1%}")])
+
+    record("resilience_overhead", "watchdog=off", off_wall, "s",
+           steps=NSTEPS)
+    record("resilience_overhead", "watchdog=on", on_wall, "s",
+           steps=NSTEPS, overhead_frac=overhead)

@@ -22,6 +22,15 @@ Deck keys (beyond the ones :class:`repro.io.inputs.InputDeck` maps onto
     run.profile     = true           # print profiler + ledger reports at end
     runtime.executor = serial        # or pool: multiprocessing task runtime
     runtime.workers  = 4             # pool worker count (default: CPU count)
+    resilience.watchdog = true       # per-step NaN/positivity/CFL validation
+    resilience.max_step_retries = 3  # rollback/retry budget per step
+    resilience.retries      = 2      # supervised-pool per-task retry budget
+    resilience.backoff      = 0.05   # task-retry backoff base (seconds)
+    resilience.task_timeout = 30     # seconds before a pool task is lost
+    resilience.autocheckpoint_every = 0   # crash-safe checkpoint cadence
+    resilience.autocheckpoint_dir   = autochk
+    resilience.faults.plan  = kill_worker@2.1 nan@4   # fault injection
+    resilience.faults.seed  = 7      # (or the REPRO_FAULTS env var)
 
 Summarize a recorded run afterwards with ``python -m repro.report DIR``.
 """
@@ -98,6 +107,20 @@ def main(argv: Optional[list] = None) -> int:
                              "(multiprocessing workers, comm/compute overlap)")
     parser.add_argument("--workers", type=int, default=None,
                         help="override runtime.workers (pool size)")
+    parser.add_argument("--faults", default=None, metavar="PLAN",
+                        help="fault-injection plan, e.g. "
+                             "'kill_worker@2.1;nan@4' (overrides "
+                             "resilience.faults.plan / REPRO_FAULTS)")
+    parser.add_argument("--faults-seed", type=int, default=None,
+                        help="override resilience.faults.seed")
+    parser.add_argument("--autocheckpoint-every", type=int, default=None,
+                        metavar="N",
+                        help="crash-safe checkpoint every N steps "
+                             "(overrides resilience.autocheckpoint_every)")
+    parser.add_argument("--autocheckpoint-dir", default=None, metavar="DIR",
+                        help="override resilience.autocheckpoint_dir")
+    parser.add_argument("--no-watchdog", action="store_true",
+                        help="disable per-step validation and step retry")
     args = parser.parse_args(argv)
 
     deck = InputDeck.from_file(args.deck)
@@ -118,6 +141,16 @@ def main(argv: Optional[list] = None) -> int:
         config.executor = args.executor
     if args.workers:
         config.workers = args.workers
+    if args.faults is not None:
+        config.faults_plan = args.faults
+    if args.faults_seed is not None:
+        config.faults_seed = args.faults_seed
+    if args.autocheckpoint_every is not None:
+        config.autocheckpoint_every = args.autocheckpoint_every
+    if args.autocheckpoint_dir is not None:
+        config.autocheckpoint_dir = args.autocheckpoint_dir
+    if args.no_watchdog:
+        config.watchdog = False
     sim = Crocco(case, config)
     restart = deck.get_str("run.restart")
     if restart:
@@ -130,6 +163,9 @@ def main(argv: Optional[list] = None) -> int:
           f"CRoCCo {config.version}, {sim.finest_level + 1} level(s), "
           f"{sim.comm.nranks} simulated rank(s), "
           f"executor {sim.engine.name}")
+    if sim.faults is not None:
+        print(f"fault injection active: {config.faults_plan!r} "
+              f"(seed {sim.faults.seed})")
 
     nsteps = args.steps if args.steps is not None else deck.get_int("run.steps")
     t_end = args.time if args.time is not None else deck.get_float("run.time")
@@ -143,30 +179,52 @@ def main(argv: Optional[list] = None) -> int:
         print(f"  step {sim.step_count:5d}  t = {sim.time:.5f}  "
               f"dt = {sim.dt_history[-1]:.3e}  rho in [{mn:.3f}, {mx:.3f}]")
 
-    while True:
-        if nsteps is not None and sim.step_count >= nsteps:
-            break
-        if t_end is not None and sim.time >= t_end:
-            break
-        sim.step()
-        if report and sim.step_count % report == 0:
+    try:
+        while True:
+            if nsteps is not None and sim.step_count >= nsteps:
+                break
+            if t_end is not None and sim.time >= t_end:
+                break
+            sim.step()
+            if report and sim.step_count % report == 0:
+                progress()
+        if not report or sim.step_count % report != 0:
             progress()
-    if not report or sim.step_count % report != 0:
-        progress()
 
-    out = args.plotfile or deck.get_str("run.plotfile")
-    if out:
-        path = write_plotfile(out, sim)
-        print(f"wrote plotfile {path}")
-    chk = deck.get_str("run.checkpoint")
-    if chk:
-        path = save_checkpoint(chk, sim)
-        print(f"wrote checkpoint {path}")
-    if config.profile:
-        print(sim.profiler.report())
-        print(ledger_summary(sim.comm.ledger))
-    sim.close()
+        out = args.plotfile or deck.get_str("run.plotfile")
+        if out:
+            path = write_plotfile(out, sim)
+            print(f"wrote plotfile {path}")
+        chk = deck.get_str("run.checkpoint")
+        if chk:
+            path = save_checkpoint(chk, sim)
+            print(f"wrote checkpoint {path}")
+        if config.profile:
+            print(sim.profiler.report())
+            print(ledger_summary(sim.comm.ledger))
+        if sim.faults is not None:
+            print(resilience_summary(sim))
+    finally:
+        # guaranteed teardown: no leaked pool workers or shm segments,
+        # even when a step dies beyond every retry
+        sim.close()
     return 0
+
+
+def resilience_summary(sim) -> str:
+    """Faults injected vs. recovery actions taken, one line each."""
+    lines = ["Resilience summary", "-" * 60]
+    fired = sim.faults.fired_by_kind() if sim.faults is not None else {}
+    for kind, n in sorted(fired.items()):
+        lines.append(f"injected {kind:<14s} x{n}")
+    if sim.faults is not None and sim.faults.pending():
+        tokens = ", ".join(s.token() for s in sim.faults.pending())
+        lines.append(f"(unfired: {tokens})")
+    stats = sim.resilience.as_dict()
+    for key in sorted(stats):
+        if stats[key]:
+            lines.append(f"{key:<22s} {stats[key]}")
+    return "\n".join(lines)
 
 
 def ledger_summary(ledger) -> str:

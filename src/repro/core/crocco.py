@@ -99,6 +99,41 @@ class CroccoConfig:
         default_factory=lambda: int(os.environ["REPRO_WORKERS"])
         if os.environ.get("REPRO_WORKERS") else None)
 
+    # -- resilience (deck section ``resilience.*``) -----------------------
+    #: validate every step (NaN/Inf, positivity spikes, CFL blowup) and
+    #: retry failed steps from a pre-step snapshot
+    watchdog: bool = True
+    #: rollback/retry budget per step before restoring from a checkpoint
+    max_step_retries: int = 3
+    #: retries that re-run the identical dt before dt-halving kicks in
+    retry_same_dt: int = 1
+    #: supervise the pool executor (dead-worker detection, re-submission)
+    supervise: bool = True
+    #: per-task retry budget in the supervised pool
+    task_retries: int = 2
+    #: base delay of the capped exponential task-retry backoff (seconds)
+    retry_backoff: float = 0.05
+    #: seconds before an in-flight pool task is presumed lost
+    task_timeout: float = 30.0
+    #: pool respawns tolerated before degrading to inline execution
+    max_pool_restarts: int = 3
+    #: crash-safe checkpoint every N successful steps (0 = off)
+    autocheckpoint_every: int = 0
+    autocheckpoint_dir: str = "autochk"
+    autocheckpoint_keep: int = 2
+    #: restore-from-last-good budget after a step exhausts its retries
+    max_restores: int = 2
+    #: positivity-guard interventions per step above which the watchdog
+    #: declares the step numerically failed (None = disabled)
+    positivity_spike: Optional[int] = None
+    #: fail a step whose realized dt*rate exceeds cfl*cfl_margin
+    cfl_margin: Optional[float] = None
+    #: fault-injection plan, e.g. "kill_worker@2.1;nan@4;seed=7"
+    #: (deck key ``resilience.faults.plan`` or the REPRO_FAULTS env var)
+    faults_plan: str = field(
+        default_factory=lambda: os.environ.get("REPRO_FAULTS", ""))
+    faults_seed: int = 0
+
     def resolve_version(self) -> VersionConfig:
         return get_version(self.version)
 
@@ -163,10 +198,37 @@ class Crocco(AmrCore):
         #: tagged-cell count per level from the most recent error estimate
         self.last_tag_counts: Dict[int, int] = {}
 
+        # -- resilience: built before the engine so the supervised pool
+        # and the fault injector are wired into task execution
+        from repro.resilience.faults import FaultInjector
+        from repro.resilience.stats import ResilienceStats
+
+        self.resilience = ResilienceStats()
+        self.faults = FaultInjector.from_config(self.config.faults_plan,
+                                                self.config.faults_seed)
+        #: the PositivityGuard, when safeguards.attach_guard() installed one
+        self.guard = None
+
         from repro.runtime.engine import RuntimeEngine
 
         self.engine = RuntimeEngine(self, self.config.executor,
                                     self.config.workers)
+
+        self.watchdog = None
+        if self.config.watchdog:
+            from repro.resilience.watchdog import StepWatchdog
+
+            self.watchdog = StepWatchdog(
+                max_step_retries=self.config.max_step_retries,
+                retry_same_dt=self.config.retry_same_dt,
+                positivity_spike=self.config.positivity_spike,
+                cfl_margin=self.config.cfl_margin,
+                autocheckpoint_every=self.config.autocheckpoint_every,
+                autocheckpoint_dir=self.config.autocheckpoint_dir,
+                autocheckpoint_keep=self.config.autocheckpoint_keep,
+                max_restores=self.config.max_restores,
+                stats=self.resilience,
+            )
 
         self.recorder = None
         if self.config.trace_out or self.config.metrics_out:
@@ -200,6 +262,9 @@ class Crocco(AmrCore):
         self._coords_file = path
 
     def close(self) -> None:
+        if getattr(self, "_closed", False):
+            return
+        self._closed = True
         if self.recorder is not None:
             written = self.recorder.finalize(self)
             for kind, path in written.items():
@@ -208,6 +273,12 @@ class Crocco(AmrCore):
         if self._coords_file and os.path.exists(self._coords_file):
             os.unlink(self._coords_file)
             self._coords_file = None
+
+    def __enter__(self) -> "Crocco":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # -- AmrCore hooks -----------------------------------------------------
     def make_new_level_from_scratch(self, lev, ba, dm) -> None:
@@ -350,19 +421,30 @@ class Crocco(AmrCore):
             self.step()
 
     def step(self) -> None:
-        cfg = self.config
         if self.version.amr and self.config.max_level > 0:
             if self.step_count % self.regrid_interval() == 0:
                 with self.profiler.region("Regrid"):
                     self.regrid()
                 self.regrid_count += 1
-        dt = self._compute_dt()
+        if self.watchdog is not None:
+            self.watchdog.guarded_advance(self)
+        else:
+            self._advance(self._compute_dt())
+        if self.recorder is not None:
+            self.recorder.sample_step(self)
+
+    def _advance(self, dt: float) -> None:
+        """One unguarded advance: the RK3 graphs plus bookkeeping.
+
+        The watchdog retries this whole unit, so everything it mutates
+        (state, time, step_count, dt_history) is covered by its snapshot.
+        """
         self._rk3(dt)
+        if self.faults is not None:
+            self.faults.corrupt_state(self)
         self.time += dt
         self.step_count += 1
         self.dt_history.append(dt)
-        if self.recorder is not None:
-            self.recorder.sample_step(self)
 
     def regrid_interval(self) -> int:
         """Steps between regrids — fixed, or CFL-derived when "auto".

@@ -64,6 +64,9 @@ def attach_guard(crocco, guard: PositivityGuard | None = None) -> PositivityGuar
     Returns the guard so callers can inspect intervention counts.
     """
     g = guard if guard is not None else PositivityGuard()
+    # expose the guard on the driver so the recorder exports its counts
+    # (safeguards.positivity_cells) and the watchdog can spot spikes
+    crocco.guard = g
     kernels = crocco.kernels
     orig_update = kernels.update
 

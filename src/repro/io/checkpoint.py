@@ -1,16 +1,36 @@
-"""Checkpoint / restart.
+"""Crash-safe checkpoint / restart.
 
 Persists a Crocco run's complete evolving state — time, step count, level
 hierarchy (BoxArrays, DistributionMappings) and every patch's field data
-including ghost cells — and restores it into a freshly constructed driver,
-so long runs can resume bit-exactly.
+including ghost cells — and restores it into a Crocco driver, so long
+runs can resume bit-exactly.
+
+The write protocol survives being killed at any instant (the on-node
+stand-in for a node failure mid-I/O on a large machine):
+
+1. everything is written into a hidden ``.{name}.partial`` temp
+   directory next to the destination;
+2. each ``Level_N.npz`` records its SHA-256 digest in the Header, and
+   the Header is written **last** — a partial directory can never carry
+   a complete Header over incomplete data;
+3. the temp directory is published with an atomic rename (any previous
+   checkpoint of the same name is swapped out, not overwritten in
+   place), so the destination path either holds the old complete
+   checkpoint or the new complete checkpoint, never a torn mix.
+
+``load_checkpoint`` verifies the format tag, version, level count and
+per-file digests and raises :class:`CheckpointError` (a ``ValueError``)
+with a diagnosis naming the corrupt piece instead of an opaque traceback.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import shutil
+import zipfile
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
 
 import numpy as np
 
@@ -18,60 +38,179 @@ from repro.amr.box import Box
 from repro.amr.boxarray import BoxArray
 from repro.amr.distribution import DistributionMapping
 
-FORMAT_TAG = "repro-checkpoint-1"
+#: bumped from "repro-checkpoint-1": v2 adds per-level SHA-256 digests
+FORMAT_TAG = "repro-checkpoint-2"
+
+
+class CheckpointError(ValueError):
+    """A checkpoint is missing, truncated, corrupt, or incompatible."""
+
+
+def _sha256(path: Path) -> str:
+    h = hashlib.sha256()
+    with open(path, "rb") as f:
+        for chunk in iter(lambda: f.read(1 << 20), b""):
+            h.update(chunk)
+    return h.hexdigest()
 
 
 def save_checkpoint(path: Union[str, Path], crocco) -> Path:
-    """Write a restartable snapshot of the run."""
+    """Write a restartable snapshot of the run, atomically.
+
+    When a fault injector with a pending ``kill_save`` fault is attached
+    to the driver, the write is aborted partway through — exercising
+    exactly the crash window the protocol defends against.
+    """
     path = Path(path)
-    path.mkdir(parents=True, exist_ok=True)
-    meta = {
-        "format": FORMAT_TAG,
-        "time": crocco.time,
-        "step": crocco.step_count,
-        "finest_level": crocco.finest_level,
-        "version": crocco.version.name,
-        "levels": [],
-    }
-    for lev in range(crocco.finest_level + 1):
-        mf = crocco.state[lev]
-        meta["levels"].append({
-            "boxes": [[list(b.lo.tup()), list(b.hi.tup())] for b in mf.ba],
-            "owners": list(mf.dm.ranks()),
-        })
-        arrays = {f"state{i:05d}": fab.whole() for i, fab in mf}
-        arrays.update({f"du{i:05d}": fab.whole() for i, fab in crocco.du[lev]})
-        np.savez_compressed(path / f"Level_{lev}.npz", **arrays)
-    (path / "Header").write_text(json.dumps(meta, indent=1))
+    faults = getattr(crocco, "faults", None)
+    save_idx = faults.begin_save() if faults is not None else 0
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.parent / f".{path.name}.partial"
+    if tmp.exists():  # leftover of a previous crashed save
+        shutil.rmtree(tmp)
+    tmp.mkdir(parents=True)
+    try:
+        meta = {
+            "format": FORMAT_TAG,
+            "time": crocco.time,
+            "step": crocco.step_count,
+            "finest_level": crocco.finest_level,
+            "version": crocco.version.name,
+            "levels": [],
+        }
+        for lev in range(crocco.finest_level + 1):
+            mf = crocco.state[lev]
+            arrays = {f"state{i:05d}": fab.whole() for i, fab in mf}
+            arrays.update(
+                {f"du{i:05d}": fab.whole() for i, fab in crocco.du[lev]})
+            np.savez_compressed(tmp / f"Level_{lev}.npz", **arrays)
+            if faults is not None:
+                # a kill here leaves a digestless partial dir, never a
+                # Header claiming completeness
+                faults.maybe_crash_save(save_idx, tmp / f"Level_{lev}.npz")
+            meta["levels"].append({
+                "boxes": [[list(b.lo.tup()), list(b.hi.tup())]
+                          for b in mf.ba],
+                "owners": list(mf.dm.ranks()),
+                "sha256": _sha256(tmp / f"Level_{lev}.npz"),
+            })
+        # Header last: its presence certifies every Level file above it
+        (tmp / "Header").write_text(json.dumps(meta, indent=1))
+    except BaseException:
+        shutil.rmtree(tmp, ignore_errors=True)
+        raise
+    # atomic publish: swap out any previous checkpoint of the same name
+    old = path.parent / f".{path.name}.old"
+    if old.exists():
+        shutil.rmtree(old)
+    if path.exists():
+        path.rename(old)
+    tmp.rename(path)
+    if old.exists():
+        shutil.rmtree(old, ignore_errors=True)
     return path
+
+
+def _read_header(path: Path) -> dict:
+    header = path / "Header"
+    if not path.exists():
+        raise CheckpointError(f"checkpoint directory {path} does not exist")
+    if not header.exists():
+        raise CheckpointError(
+            f"checkpoint {path} has no Header — the save was interrupted "
+            "before completion (a .partial directory is never restorable)")
+    try:
+        meta = json.loads(header.read_text())
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(
+            f"checkpoint {path} has a corrupt Header (bad JSON): {exc}"
+        ) from exc
+    if meta.get("format") != FORMAT_TAG:
+        raise CheckpointError(
+            f"checkpoint {path} has format tag {meta.get('format')!r}, "
+            f"this build reads {FORMAT_TAG!r}")
+    for key in ("time", "step", "finest_level", "version", "levels"):
+        if key not in meta:
+            raise CheckpointError(
+                f"checkpoint {path} Header is missing the {key!r} field")
+    return meta
 
 
 def load_checkpoint(path: Union[str, Path], crocco) -> None:
     """Restore a snapshot into a Crocco driver built on the same case/config.
 
-    The driver must be freshly constructed (not initialized); the hierarchy
-    is rebuilt from the checkpoint metadata and all field data restored.
+    The driver may be freshly constructed or mid-run (watchdog restore):
+    any existing hierarchy is cleared before the checkpointed one is
+    rebuilt.  Raises :class:`CheckpointError` with a specific diagnosis
+    on every corruption mode rather than restoring garbage.
     """
     path = Path(path)
-    meta = json.loads((path / "Header").read_text())
-    if meta.get("format") != FORMAT_TAG:
-        raise ValueError(f"not a {FORMAT_TAG} checkpoint: {path}")
+    meta = _read_header(path)
     if meta["version"] != crocco.version.name:
-        raise ValueError(
+        raise CheckpointError(
             f"checkpoint was written by CRoCCo {meta['version']}, "
-            f"driver is {crocco.version.name}"
-        )
+            f"driver is {crocco.version.name}")
+    nlev = len(meta["levels"])
+    if nlev != meta["finest_level"] + 1:
+        raise CheckpointError(
+            f"checkpoint {path} Header is inconsistent: finest_level="
+            f"{meta['finest_level']} but {nlev} level entr"
+            f"{'y' if nlev == 1 else 'ies'} recorded")
+    if nlev > crocco.amr_config.max_level + 1:
+        raise CheckpointError(
+            f"checkpoint {path} has {nlev} levels but the driver allows "
+            f"at most {crocco.amr_config.max_level + 1} (amr.max_level)")
+    # validate every Level file *before* touching the driver, so a corrupt
+    # checkpoint cannot leave it half-restored
+    for lev, lev_meta in enumerate(meta["levels"]):
+        lev_path = path / f"Level_{lev}.npz"
+        if not lev_path.exists():
+            raise CheckpointError(
+                f"checkpoint {path} is missing Level_{lev}.npz")
+        digest = lev_meta.get("sha256")
+        if digest is not None and _sha256(lev_path) != digest:
+            raise CheckpointError(
+                f"checkpoint {path} Level_{lev}.npz fails its SHA-256 "
+                "digest — the file is truncated or corrupt")
+    # clear any live hierarchy (restore into a used driver)
+    for lev in range(crocco.finest_level, -1, -1):
+        crocco.clear_level(lev)
+        crocco.box_arrays[lev] = None
+        crocco.dmaps[lev] = None
+    crocco.finest_level = -1
     crocco.time = meta["time"]
     crocco.step_count = meta["step"]
     for lev, lev_meta in enumerate(meta["levels"]):
-        ba = BoxArray(Box(tuple(lo), tuple(hi)) for lo, hi in lev_meta["boxes"])
+        ba = BoxArray(Box(tuple(lo), tuple(hi))
+                      for lo, hi in lev_meta["boxes"])
         dm = DistributionMapping(lev_meta["owners"], crocco.comm.nranks)
         crocco.box_arrays[lev] = ba
         crocco.dmaps[lev] = dm
         crocco._build_level_storage(lev, ba, dm)
-        with np.load(path / f"Level_{lev}.npz") as data:
-            for i, fab in crocco.state[lev]:
-                fab.whole()[...] = data[f"state{i:05d}"]
-            for i, fab in crocco.du[lev]:
-                fab.whole()[...] = data[f"du{i:05d}"]
-    crocco.finest_level = meta["finest_level"]
+        try:
+            with np.load(path / f"Level_{lev}.npz") as data:
+                for i, fab in crocco.state[lev]:
+                    fab.whole()[...] = data[f"state{i:05d}"]
+                for i, fab in crocco.du[lev]:
+                    fab.whole()[...] = data[f"du{i:05d}"]
+        except (zipfile.BadZipFile, OSError, KeyError) as exc:
+            raise CheckpointError(
+                f"checkpoint {path} Level_{lev}.npz is unreadable "
+                f"({exc}) — the save was likely interrupted") from exc
+        crocco.finest_level = lev
+
+
+def latest_checkpoint(directory: Union[str, Path]) -> Optional[Path]:
+    """The newest complete checkpoint under ``directory`` (None if none).
+
+    Partial (header-less) and in-progress ``.partial`` directories are
+    skipped, so a crash during the most recent save falls back to the
+    previous good one.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return None
+    candidates = [p for p in sorted(directory.iterdir())
+                  if p.is_dir() and not p.name.startswith(".")
+                  and (p / "Header").exists()]
+    return candidates[-1] if candidates else None

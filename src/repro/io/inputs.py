@@ -118,7 +118,42 @@ class InputDeck:
                 cfg.trace_out = str(Path(record) / "trace.json")
             if cfg.metrics_out is None:
                 cfg.metrics_out = str(Path(record) / "metrics.jsonl")
+        self._apply_resilience(cfg)
         return cfg
+
+    def _apply_resilience(self, cfg: CroccoConfig) -> None:
+        """Map the ``resilience.*`` deck section onto the config."""
+        cfg.watchdog = self.get_bool("resilience.watchdog", cfg.watchdog)
+        cfg.supervise = self.get_bool("resilience.supervise", cfg.supervise)
+        cfg.max_step_retries = self.get_int("resilience.max_step_retries",
+                                            cfg.max_step_retries)
+        cfg.retry_same_dt = self.get_int("resilience.retry_same_dt",
+                                         cfg.retry_same_dt)
+        cfg.task_retries = self.get_int("resilience.retries",
+                                        cfg.task_retries)
+        cfg.retry_backoff = self.get_float("resilience.backoff",
+                                           cfg.retry_backoff)
+        cfg.task_timeout = self.get_float("resilience.task_timeout",
+                                          cfg.task_timeout)
+        cfg.max_pool_restarts = self.get_int("resilience.max_pool_restarts",
+                                             cfg.max_pool_restarts)
+        cfg.autocheckpoint_every = self.get_int(
+            "resilience.autocheckpoint_every", cfg.autocheckpoint_every)
+        cfg.autocheckpoint_dir = self.get_str(
+            "resilience.autocheckpoint_dir", cfg.autocheckpoint_dir)
+        cfg.autocheckpoint_keep = self.get_int(
+            "resilience.autocheckpoint_keep", cfg.autocheckpoint_keep)
+        cfg.max_restores = self.get_int("resilience.max_restores",
+                                        cfg.max_restores)
+        cfg.positivity_spike = self.get_int("resilience.positivity_spike",
+                                            cfg.positivity_spike)
+        cfg.cfl_margin = self.get_float("resilience.cfl_margin",
+                                        cfg.cfl_margin)
+        # fault plan tokens may be space- or semicolon-separated in the deck
+        if "resilience.faults.plan" in self:
+            cfg.faults_plan = ";".join(self._entries["resilience.faults.plan"])
+        cfg.faults_seed = self.get_int("resilience.faults.seed",
+                                       cfg.faults_seed)
 
     def domain_cells(self) -> Optional[List[int]]:
         """The ``amr.n_cell`` entry (coarse cells per direction)."""

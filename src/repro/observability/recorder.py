@@ -91,6 +91,24 @@ class RunRecorder:
             rep = engine.last_step_report
             for name, value in rep.as_dict().items():
                 g(f"runtime.{name}").set(value)
+        guard = getattr(sim, "guard", None)
+        if guard is not None:
+            # the guard indexes interventions by the step that produced
+            # them; after step() the just-completed step is step_count-1
+            g("safeguards.positivity_cells").set(
+                guard.interventions.get(sim.step_count - 1, 0))
+            g("safeguards.positivity_total").set(guard.total_interventions)
+        resilience = getattr(sim, "resilience", None)
+        faults = getattr(sim, "faults", None)
+        if resilience is not None and (
+                getattr(sim, "watchdog", None) is not None
+                or faults is not None or resilience.counters):
+            for name, value in resilience.as_dict().items():
+                g(f"resilience.{name}").set(value)
+        if faults is not None:
+            g("resilience.faults_injected").set(len(faults.fired))
+            for kind, n in faults.fired_by_kind().items():
+                g(f"resilience.injected.{kind}").set(n)
         rec = self.metrics.sample(sim.step_count, sim.time)
         self.tracer.counter(
             "active_cells", {"cells": float(total_cells)}, rank=0

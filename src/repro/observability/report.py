@@ -126,6 +126,16 @@ def overlap_rows(records: Sequence[dict]) -> List[dict]:
     return rows
 
 
+def resilience_totals(records: Sequence[dict]) -> Dict[str, float]:
+    """Final cumulative ``resilience.*`` counters (empty if never sampled)."""
+    if not records:
+        return {}
+    final = records[-1]["metrics"]
+    return {key.split("resilience.", 1)[1]: value
+            for key, value in final.items()
+            if key.startswith("resilience.")}
+
+
 def kernel_totals(records: Sequence[dict]) -> Dict[str, Dict[str, float]]:
     """Final cumulative per-kernel counters: {kernel: {field: value}}."""
     if not records:
@@ -244,6 +254,59 @@ def format_report(events: Sequence[dict], other: dict,
         if kinds:
             lines.append("  tasks/step: " + ", ".join(
                 f"{k.replace('_', '-')}={kinds[k]}" for k in sorted(kinds)))
+
+    # resilience: injected faults vs recovery actions, and solver health
+    res = resilience_totals(records)
+    if res:
+        lines.append("")
+        lines.append("-- resilience --")
+        injected = {k.split("injected.", 1)[1]: int(v)
+                    for k, v in res.items() if k.startswith("injected.")}
+        if "faults_injected" in res:
+            detail = (" (" + ", ".join(f"{k}={injected[k]}"
+                                       for k in sorted(injected)) + ")"
+                      if injected else "")
+            lines.append(f"faults injected      {int(res['faults_injected'])}"
+                         f"{detail}")
+        for label, key in (
+                ("step retries", "step_retries"),
+                ("rollbacks", "rollbacks"),
+                ("dt halvings", "dt_halvings"),
+                ("recovered steps", "recovered_steps"),
+                ("NaN detections", "nan_detections"),
+                ("task retries", "task_retries"),
+                ("task resubmits", "task_resubmits"),
+                ("pool restarts", "pool_restarts"),
+                ("degraded to serial", "degraded_to_serial"),
+                ("autocheckpoints", "autocheckpoints"),
+                ("checkpoint failures", "checkpoint_failures"),
+                ("restores", "restores"),
+        ):
+            if key in res:
+                lines.append(f"{label:<20s} {int(res[key])}")
+        injected_n = int(res.get("faults_injected", 0))
+        recovered = (int(res.get("recovered_steps", 0))
+                     + int(res.get("task_retries", 0))
+                     + int(res.get("task_resubmits", 0))
+                     + int(res.get("checkpoint_failures", 0))
+                     + int(res.get("restores", 0)))
+        if injected_n:
+            lines.append(
+                f"outcome: {injected_n} fault(s) injected, "
+                f"{recovered} recovery action(s) taken, run completed")
+
+    # solver health: positivity-guard interventions
+    if records:
+        m_final = records[-1]["metrics"]
+        if "safeguards.positivity_total" in m_final:
+            total = int(m_final["safeguards.positivity_total"])
+            worst = max(int(r["metrics"].get(
+                "safeguards.positivity_cells", 0)) for r in records)
+            lines.append("")
+            lines.append("-- solver health --")
+            lines.append(f"positivity clamps    {total} cell(s) total, "
+                         f"worst step {worst}"
+                         + ("  [healthy]" if total == 0 else ""))
 
     # comms matrix
     matrix = other.get("comms_matrix")

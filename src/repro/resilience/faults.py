@@ -1,0 +1,276 @@
+"""Deterministic fault injection from a seeded plan.
+
+Chaos runs must be reproducible, so faults are *planned*, not random:
+a plan is a list of tokens, each firing exactly once at a named step
+(and, for task-level faults, RK stage)::
+
+    seed=42 kill_worker@2 nan@3 drop_comm@1:fb task_error@4:Box
+    slow@2:1.5 kill_save@2
+
+Token grammar: ``kind@step[.stage][:arg]`` (plus ``seed=N``).  Tokens
+are separated by whitespace or ``;`` — the deck key
+``resilience.faults.plan`` takes the space-separated form, the
+``REPRO_FAULTS`` env var the ``;``-separated one.  Step numbers refer to
+``sim.step_count`` at the start of the step (0-based); ``kill_save``'s
+"step" is instead the 1-based index of the ``save_checkpoint`` call to
+interrupt.
+
+Fault kinds and where they bite:
+
+``kill_worker@S[.G]``
+    One offloaded task's worker process exits hard (``os._exit``) before
+    touching any data — the stand-in for losing a Summit node mid-step.
+    Detected by the supervisor's task timeout; the pool is respawned and
+    the task re-submitted.
+``slow@S[.G][:SECS]``
+    One offloaded task stalls for ``SECS`` (default 1.0) seconds before
+    doing its work — a stuck worker.  If the stall exceeds the
+    supervisor's ``task_timeout`` the pool is respawned (killing the
+    sleeper before it writes anything) and the task re-submitted.
+``task_error@S[.G][:PREFIX]``
+    One task whose name starts with ``PREFIX`` (any offloadable task by
+    default) raises :class:`InjectedTaskError`.  Offloaded tasks are
+    retried by the supervisor; inline tasks fail the step and are
+    retried by the watchdog's rollback.
+``drop_comm@S[.G][:fb|pc]``
+    The matching ``comm-wait`` task (FillBoundary finish, or the coords
+    ParallelCopy consumer) raises :class:`InjectedCommDrop` — a lost
+    halo exchange.  The watchdog rolls the step back and retries.
+``nan@S``
+    One state cell is seeded with NaN after the advance of step ``S`` —
+    silent corruption the watchdog's scan must catch.
+``kill_save@N``
+    The ``N``-th ``save_checkpoint`` call in this process raises
+    :class:`InjectedCheckpointCrash` after the first level file is
+    written and before the atomic rename — a kill mid-save.  The
+    previous checkpoint at the destination must survive intact.
+
+Each planned fault records a firing entry in :attr:`FaultInjector.fired`
+so the run report can account for every injected fault.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+#: fault kinds that attach to tasks of one (step, stage) graph
+TASK_KINDS = ("kill_worker", "slow", "task_error", "drop_comm")
+KINDS = TASK_KINDS + ("nan", "kill_save")
+
+_TOKEN = re.compile(r"^(?P<kind>[a-z_]+)@(?P<step>\d+)"
+                    r"(?:\.(?P<stage>\d+))?(?::(?P<arg>[^\s;]+))?$")
+
+
+class InjectedFault(RuntimeError):
+    """Base class of every deliberately injected failure."""
+
+
+class InjectedTaskError(InjectedFault):
+    """A task made to raise by the fault plan."""
+
+
+class InjectedCommDrop(InjectedFault):
+    """A halo exchange whose finish half was made to fail."""
+
+
+class InjectedCheckpointCrash(InjectedFault):
+    """A checkpoint write interrupted mid-save by the fault plan."""
+
+
+@dataclass
+class FaultSpec:
+    """One planned fault occurrence."""
+
+    kind: str
+    step: int
+    stage: int = 0
+    arg: Optional[str] = None
+    fired: bool = False
+
+    def token(self) -> str:
+        out = f"{self.kind}@{self.step}"
+        if self.stage:
+            out += f".{self.stage}"
+        if self.arg is not None:
+            out += f":{self.arg}"
+        return out
+
+
+def parse_plan(text: str) -> tuple:
+    """Parse a plan string; returns ``(specs, seed)``."""
+    specs: List[FaultSpec] = []
+    seed = 0
+    for tok in re.split(r"[;\s]+", text.strip()):
+        if not tok:
+            continue
+        if tok.startswith("seed="):
+            seed = int(tok[len("seed="):])
+            continue
+        m = _TOKEN.match(tok)
+        if m is None:
+            raise ValueError(f"bad fault token {tok!r} "
+                             "(expected kind@step[.stage][:arg])")
+        kind = m.group("kind")
+        if kind not in KINDS:
+            raise ValueError(f"unknown fault kind {kind!r}; options {KINDS}")
+        specs.append(FaultSpec(
+            kind=kind,
+            step=int(m.group("step")),
+            stage=int(m.group("stage") or 0),
+            arg=m.group("arg"),
+        ))
+    return specs, seed
+
+
+class FaultInjector:
+    """Executes a fault plan deterministically against a run."""
+
+    def __init__(self, specs: List[FaultSpec], seed: int = 0) -> None:
+        self.specs = list(specs)
+        self.seed = seed
+        #: firing log: {kind, step, stage, target} per injected fault
+        self.fired: List[Dict] = []
+        self._save_calls = 0
+
+    @classmethod
+    def from_config(cls, plan: Optional[str],
+                    seed: Optional[int] = None) -> Optional["FaultInjector"]:
+        """Build an injector from a plan string, or None for no plan.
+
+        A nonzero ``seed`` argument (deck/CLI) wins over a ``seed=N``
+        token embedded in the plan itself.
+        """
+        if not plan:
+            return None
+        specs, plan_seed = parse_plan(plan)
+        if not specs:
+            return None
+        return cls(specs, seed if seed else plan_seed)
+
+    def _rng(self, spec: FaultSpec) -> random.Random:
+        return random.Random(f"{self.seed}:{spec.token()}")
+
+    def _record(self, spec: FaultSpec, target: str) -> None:
+        spec.fired = True
+        self.fired.append({"kind": spec.kind, "step": spec.step,
+                           "stage": spec.stage, "target": target})
+
+    def fired_by_kind(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for entry in self.fired:
+            out[entry["kind"]] = out.get(entry["kind"], 0) + 1
+        return out
+
+    def pending(self) -> List[FaultSpec]:
+        return [s for s in self.specs if not s.fired]
+
+    # -- task-graph instrumentation ---------------------------------------
+    def instrument(self, graph, step: int, stage: int) -> None:
+        """Arm this (step, stage)'s planned task faults on ``graph``.
+
+        Called by the engine after each stage graph is built.  Specs fire
+        once: a retried step rebuilds its graphs and sees them spent, so
+        the retry runs clean — exactly a transient fault.
+        """
+        for spec in self.specs:
+            if (spec.fired or spec.kind not in TASK_KINDS
+                    or spec.step != step or spec.stage != stage):
+                continue
+            if spec.kind == "kill_worker":
+                task = self._pick_offloaded(graph)
+                if task is not None:
+                    task.payload["_fault"] = ("kill",)
+                    self._record(spec, task.name)
+            elif spec.kind == "slow":
+                task = self._pick_offloaded(graph)
+                if task is not None:
+                    task.payload["_fault"] = ("slow", float(spec.arg or 1.0))
+                    self._record(spec, task.name)
+            elif spec.kind == "task_error":
+                cands = (
+                    [t for t in graph.tasks if t.name.startswith(spec.arg)]
+                    if spec.arg else
+                    [t for t in graph.tasks if t.payload]
+                    or [t for t in graph.tasks if t.kind == "compute"]
+                )
+                task = self._pick(spec, cands)
+                if task is not None:
+                    if task.payload is not None:
+                        # arm both execution paths: the payload marker
+                        # fires in a worker, the fn wrapper fires if the
+                        # scheduler runs the task inline instead
+                        task.payload["_fault"] = ("error",)
+                    _wrap_raise(task, InjectedTaskError,
+                                f"injected task error in {task.name}")
+                    self._record(spec, task.name)
+            elif spec.kind == "drop_comm":
+                cands = [t for t in graph.tasks if t.kind == "comm-wait"
+                         and (spec.arg is None
+                              or (t.channel and t.channel[0] == spec.arg))]
+                task = self._pick(spec, cands)
+                if task is not None:
+                    _wrap_raise(task, InjectedCommDrop,
+                                f"injected comm drop in {task.name}")
+                    self._record(spec, task.name)
+
+    def _pick(self, spec: FaultSpec, candidates):
+        if not candidates:
+            return None
+        return self._rng(spec).choice(sorted(candidates, key=lambda t: t.tid))
+
+    @staticmethod
+    def _pick_offloaded(graph):
+        """The payload task the scheduler offloads first (lowest tid).
+
+        Worker-level faults must actually reach a worker process: the
+        scheduler saturates an empty pool with ready offloadable tasks in
+        tid order before the driver runs anything inline, so the lowest-tid
+        payload task is the one guaranteed to execute on a worker.
+        """
+        cands = [t for t in graph.tasks if t.payload is not None]
+        return min(cands, key=lambda t: t.tid) if cands else None
+
+    # -- state corruption --------------------------------------------------
+    def corrupt_state(self, sim) -> None:
+        """Seed a planned NaN into one state cell (end of the advance)."""
+        for spec in self.specs:
+            if spec.fired or spec.kind != "nan" or spec.step != sim.step_count:
+                continue
+            rng = self._rng(spec)
+            lev = rng.randrange(sim.finest_level + 1)
+            ids = [i for i, _ in sim.state[lev]]
+            i = rng.choice(ids)
+            valid = sim.state[lev].fab(i).valid()
+            idx = tuple(rng.randrange(n) for n in valid.shape)
+            valid[idx] = np.nan
+            self._record(spec, f"state L{lev} b{i} cell{idx}")
+
+    # -- checkpoint interruption -------------------------------------------
+    def begin_save(self) -> int:
+        """Count a ``save_checkpoint`` call; returns its 1-based index."""
+        self._save_calls += 1
+        return self._save_calls
+
+    def maybe_crash_save(self, save_idx: int, path) -> None:
+        """Raise mid-save if this save call is planned to be killed."""
+        for spec in self.specs:
+            if spec.fired or spec.kind != "kill_save" or spec.step != save_idx:
+                continue
+            self._record(spec, str(path))
+            raise InjectedCheckpointCrash(
+                f"injected kill during checkpoint save #{save_idx} to {path}"
+            )
+
+
+def _wrap_raise(task, exc_type, message: str) -> None:
+    """Replace a task's inline body with one that raises ``exc_type``."""
+
+    def fn():
+        raise exc_type(message)
+
+    task.fn = fn

@@ -1,0 +1,247 @@
+"""Solver watchdog: per-step validation, rollback/retry, last-good restore.
+
+Production shock solvers survive blown-up steps by retrying them; this
+watchdog gives the reproduction the same property.  It owns the advance
+of one step:
+
+1. compute ``dt`` and **snapshot** the state hierarchy (plain heap
+   copies — shared-memory segments in pool mode stay untouched);
+2. run the RK3 advance through the task runtime;
+3. **validate** the completed step: a pool respawn taints the step
+   (possible torn writes), the state must be free of NaN/Inf, the
+   positivity guard must not have spiked, and (optionally) the realized
+   CFL rate must not have blown past the configured margin;
+4. on failure, **roll back** to the snapshot and retry.  The first
+   ``retry_same_dt`` retries re-run the identical step — a transient
+   fault retried clean reproduces the fault-free trajectory bit for bit;
+   persistent *numerical* failures then escalate by **halving dt** each
+   further retry, up to ``max_step_retries``;
+5. every ``autocheckpoint_every`` successful steps, write a crash-safe
+   checkpoint and remember it as *last good*; when a step exhausts its
+   retries, **restore from last good** (at most ``max_restores`` times)
+   instead of dying.
+
+Every retry/rollback/restore increments the shared
+:class:`~repro.resilience.stats.ResilienceStats` and emits a tracer
+instant event on recorded runs, so the run report can account for each
+injected fault end to end.
+"""
+
+from __future__ import annotations
+
+import shutil
+from pathlib import Path
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.resilience.faults import InjectedFault
+from repro.resilience.stats import ResilienceStats
+from repro.resilience.supervisor import TaskFailedError
+
+
+class StepFailure(RuntimeError):
+    """One step's validation failed; carries a retry classification.
+
+    ``kind`` is ``"transient"`` (system fault — retry the identical
+    step) or ``"numerical"`` (solver trouble — later retries halve dt).
+    """
+
+    def __init__(self, message: str, kind: str = "transient") -> None:
+        super().__init__(message)
+        self.kind = kind
+
+
+class UnrecoverableStepError(RuntimeError):
+    """A step failed beyond every retry and restore budget."""
+
+
+#: exception types the watchdog treats as retryable step failures;
+#: anything else (a genuine bug) propagates unmasked
+RETRYABLE = (StepFailure, InjectedFault, TaskFailedError)
+
+
+class StepWatchdog:
+    """Guards the advance of a Crocco simulation, one step at a time."""
+
+    def __init__(self, max_step_retries: int = 3, retry_same_dt: int = 1,
+                 positivity_spike: Optional[int] = None,
+                 cfl_margin: Optional[float] = None,
+                 autocheckpoint_every: int = 0,
+                 autocheckpoint_dir: str = "autochk",
+                 autocheckpoint_keep: int = 2, max_restores: int = 2,
+                 stats: Optional[ResilienceStats] = None) -> None:
+        self.max_step_retries = int(max_step_retries)
+        self.retry_same_dt = int(retry_same_dt)
+        self.positivity_spike = positivity_spike
+        self.cfl_margin = cfl_margin
+        self.autocheckpoint_every = int(autocheckpoint_every)
+        self.autocheckpoint_dir = autocheckpoint_dir
+        self.autocheckpoint_keep = int(autocheckpoint_keep)
+        self.max_restores = int(max_restores)
+        self.stats = stats if stats is not None else ResilienceStats()
+        #: path of the most recent successfully written autocheckpoint
+        self.last_good: Optional[Path] = None
+        self._restores = 0
+
+    # -- the guarded advance ----------------------------------------------
+    def guarded_advance(self, sim) -> None:
+        """Advance ``sim`` one step, retrying/rolling back on failure."""
+        dt = sim._compute_dt()
+        snap = self._snapshot(sim)
+        guard = getattr(sim, "guard", None)
+        attempt = 0
+        trial_dt = dt
+        while True:
+            interventions_before = (guard.total_interventions
+                                    if guard is not None else 0)
+            try:
+                sim._advance(trial_dt)
+                self._validate(sim, trial_dt, guard, interventions_before)
+                break
+            except RETRYABLE as exc:
+                attempt += 1
+                self.stats.inc("rollbacks")
+                self._trace(sim, "StepRollback",
+                            {"step": snap["step"], "attempt": attempt,
+                             "error": str(exc)})
+                if attempt > self.max_step_retries:
+                    # leave a consistent pre-step state whether we restore
+                    # from a checkpoint below or propagate the failure
+                    self._restore(sim, snap)
+                    self._unrecoverable(sim, exc)
+                    return
+                self._restore(sim, snap)
+                self.stats.inc("step_retries")
+                if (getattr(exc, "kind", "transient") == "numerical"
+                        and attempt > self.retry_same_dt):
+                    trial_dt *= 0.5
+                    self.stats.inc("dt_halvings")
+        if attempt:
+            self.stats.inc("recovered_steps")
+            self._trace(sim, "StepRecovered",
+                        {"step": snap["step"], "retries": attempt})
+        self._autocheckpoint(sim)
+
+    # -- validation --------------------------------------------------------
+    def _validate(self, sim, dt: float, guard, interventions_before) -> None:
+        executor = getattr(sim.engine, "executor", None)
+        consume = getattr(executor, "consume_tainted", None)
+        if consume is not None and consume():
+            raise StepFailure(
+                "pool was respawned mid-step; state may be torn",
+                kind="transient",
+            )
+        for lev in range(sim.finest_level + 1):
+            for i, fab in sim.state[lev]:
+                if not np.isfinite(fab.valid()).all():
+                    self.stats.inc("nan_detections")
+                    raise StepFailure(
+                        f"non-finite state on level {lev} box {i}",
+                        kind="numerical",
+                    )
+        if guard is not None and self.positivity_spike is not None:
+            delta = guard.total_interventions - interventions_before
+            if delta > self.positivity_spike:
+                raise StepFailure(
+                    f"positivity guard clamped {delta} cells "
+                    f"(spike threshold {self.positivity_spike})",
+                    kind="numerical",
+                )
+        if self.cfl_margin is not None:
+            rate = self._max_rate(sim)
+            cfl = (sim.config.cfl if sim.config.cfl is not None
+                   else sim.case.cfl)
+            if rate > 0 and dt * rate > cfl * self.cfl_margin:
+                raise StepFailure(
+                    f"CFL violation: dt*rate = {dt * rate:.3g} exceeds "
+                    f"{self.cfl_margin:g} x cfl = {cfl * self.cfl_margin:.3g}",
+                    kind="numerical",
+                )
+
+    def _max_rate(self, sim) -> float:
+        rate = 0.0
+        for lev in range(sim.finest_level + 1):
+            mf = sim.state[lev]
+            for i, fab in mf:
+                rate = max(rate, sim.kernels.max_rate(
+                    fab.valid(), sim.metrics[lev][i].interior(sim.ng),
+                    device=sim._device_of(mf.dm[i]),
+                ))
+        return rate
+
+    # -- snapshot / rollback ----------------------------------------------
+    def _snapshot(self, sim) -> Dict:
+        """Copy everything the advance mutates (state + scalars).
+
+        ``du`` is not copied: the RK3 advance zeroes it before use, so a
+        retry never reads stale increments.
+        """
+        return {
+            "time": sim.time,
+            "step": sim.step_count,
+            "nhist": len(sim.dt_history),
+            "finest": sim.finest_level,
+            "state": {(lev, i): fab.whole().copy()
+                      for lev in range(sim.finest_level + 1)
+                      for i, fab in sim.state[lev]},
+        }
+
+    def _restore(self, sim, snap: Dict) -> None:
+        """Write the snapshot back in place (shared segments preserved)."""
+        sim.engine.abort_step()
+        sim.time = snap["time"]
+        sim.step_count = snap["step"]
+        del sim.dt_history[snap["nhist"]:]
+        for (lev, i), saved in snap["state"].items():
+            sim.state[lev].fab(i).whole()[...] = saved
+
+    # -- unrecoverable path ------------------------------------------------
+    def _unrecoverable(self, sim, exc) -> None:
+        if self.last_good is not None and self._restores < self.max_restores:
+            from repro.io.checkpoint import load_checkpoint
+
+            self._restores += 1
+            self.stats.inc("restores")
+            sim.engine.abort_step()
+            load_checkpoint(self.last_good, sim)
+            self._trace(sim, "RestoreFromCheckpoint",
+                        {"checkpoint": str(self.last_good),
+                         "step": sim.step_count})
+            return
+        raise UnrecoverableStepError(
+            f"step {sim.step_count} failed after {self.max_step_retries} "
+            "retries and no restorable checkpoint remains"
+        ) from exc
+
+    # -- autocheckpointing -------------------------------------------------
+    def _autocheckpoint(self, sim) -> None:
+        if (not self.autocheckpoint_every
+                or sim.step_count % self.autocheckpoint_every):
+            return
+        from repro.io.checkpoint import save_checkpoint
+        from repro.resilience.faults import InjectedCheckpointCrash
+
+        base = Path(self.autocheckpoint_dir)
+        path = base / f"chk_step{sim.step_count:06d}"
+        try:
+            save_checkpoint(path, sim)
+        except (InjectedCheckpointCrash, OSError) as exc:
+            # an interrupted write must not kill the run: the previous
+            # last-good checkpoint is still intact (atomic publish)
+            self.stats.inc("checkpoint_failures")
+            self._trace(sim, "CheckpointFailed",
+                        {"checkpoint": str(path), "error": str(exc)})
+            return
+        self.last_good = path
+        self.stats.inc("autocheckpoints")
+        kept = sorted(p for p in base.glob("chk_step*") if p.is_dir())
+        for old in kept[:-self.autocheckpoint_keep]:
+            if old != self.last_good:
+                shutil.rmtree(old, ignore_errors=True)
+
+    # -- observability -----------------------------------------------------
+    def _trace(self, sim, name: str, args: Dict) -> None:
+        recorder = getattr(sim, "recorder", None)
+        if recorder is not None:
+            recorder.tracer.instant(name, rank=0, args=args)

@@ -27,16 +27,34 @@ class RuntimeEngine:
     def __init__(self, sim, executor: str = "serial",
                  workers: Optional[int] = None) -> None:
         self.sim = sim
-        self.executor = make_executor(executor, workers)
+        #: the simulation's fault injector, if a fault plan is active
+        self.faults = getattr(sim, "faults", None)
+        self.executor = make_executor(executor, workers,
+                                      supervision=self._supervision(sim))
         self.arena = SharedArena() if self.is_pool else None
         if self.is_pool:
             set_worker_context(sim.kernels, sim.case)
         self.scheduler = Scheduler(self.executor, profiler=sim.profiler)
         self._acc: Optional[ScheduleReport] = None
+        self._closed = False
         #: merged report of the most recent completed step
         self.last_step_report: Optional[ScheduleReport] = None
         #: merged report of the whole run
         self.total_report = ScheduleReport()
+
+    @staticmethod
+    def _supervision(sim) -> Optional[dict]:
+        """Supervisor knobs from the simulation's config (None = bare pool)."""
+        cfg = getattr(sim, "config", None)
+        if cfg is None or not getattr(cfg, "supervise", True):
+            return None
+        return {
+            "task_retries": getattr(cfg, "task_retries", 2),
+            "backoff": getattr(cfg, "retry_backoff", 0.05),
+            "task_timeout": getattr(cfg, "task_timeout", 30.0),
+            "max_pool_restarts": getattr(cfg, "max_pool_restarts", 3),
+            "stats": getattr(sim, "resilience", None),
+        }
 
     @property
     def is_pool(self) -> bool:
@@ -78,6 +96,9 @@ class RuntimeEngine:
 
     def run_stage(self, dt: float, stage: int) -> ScheduleReport:
         graph = build_stage_graph(self.sim, dt, stage, arena=self.arena)
+        if self.faults is not None:
+            self.faults.instrument(graph, step=self.sim.step_count,
+                                   stage=stage)
         report = self.scheduler.run(graph)
         if self._acc is not None:
             self._acc.merge(report)
@@ -89,7 +110,20 @@ class RuntimeEngine:
             self.total_report.merge(self._acc)
             self._acc = None
 
+    def abort_step(self) -> None:
+        """Discard the partially accumulated step (watchdog rollback)."""
+        self._acc = None
+
     def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
         self.executor.shutdown()
         if self.arena is not None:
             self.arena.release_all()
+
+    def __enter__(self) -> "RuntimeEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

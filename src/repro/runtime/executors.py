@@ -36,6 +36,10 @@ EXECUTORS = ("serial", "pool")
 #: (kernels, case) globals inherited by forked workers
 _WORKER_CTX: Optional[tuple] = None
 
+#: the driver's pid (forked workers inherit it and compare unequal), so
+#: an injected "kill" can never take down the driver process itself
+_DRIVER_PID = os.getpid()
+
 
 def set_worker_context(kernels, case) -> None:
     """Install the state forked pool workers will inherit."""
@@ -51,6 +55,29 @@ def _run_payload(spec: dict) -> Tuple[int, float]:
     timing travels back.
     """
     t0 = time.perf_counter()
+    fault = spec.get("_fault")
+    if fault is not None:
+        # planted by the fault-injection harness (repro.resilience.faults);
+        # the supervisor strips the marker before any re-submission, so a
+        # planned fault fires at most once per run — a transient failure
+        if fault[0] == "kill":
+            if os.getpid() != _DRIVER_PID:
+                os._exit(3)
+            # running inline in the driver (degraded mode): losing the
+            # driver is not the modeled failure — degrade to a task error
+            from repro.resilience.faults import InjectedTaskError
+
+            raise InjectedTaskError(
+                "injected worker kill while running inline in the driver")
+        if fault[0] == "slow":
+            # stall *before* touching data: if the supervisor times out and
+            # respawns the pool, the terminated sleeper has written nothing
+            time.sleep(float(fault[1]))
+        if fault[0] == "error":
+            from repro.resilience.faults import InjectedTaskError
+
+            raise InjectedTaskError(
+                f"injected task error in worker {os.getpid()}")
     op = spec["op"]
     if op == "rhs_update":
         _rhs_update(spec)
@@ -78,7 +105,30 @@ def _rhs_update(spec: dict) -> None:
     kernels.update(u[valid], du, rhs, spec["dt"], spec["stage"], device=None)
 
 
-class SerialExecutor:
+class BaseExecutor:
+    """Interface shared by all executors; usable as a context manager.
+
+    ``with make_executor(...) as ex`` guarantees pool teardown even when
+    the body raises mid-step — no leaked worker processes.
+    """
+
+    name = "base"
+    nworkers = 1
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+    def cancel_pending(self) -> None:
+        """Abandon in-flight work (e.g. when a step is rolled back)."""
+
+    def shutdown(self) -> None:
+        pass
+
+
+class SerialExecutor(BaseExecutor):
     """Deterministic inline execution (the default)."""
 
     name = "serial"
@@ -99,11 +149,8 @@ class SerialExecutor:
     def wait_one(self, timeout: float = None):  # pragma: no cover
         raise RuntimeError("serial executor has no pending tasks")
 
-    def shutdown(self) -> None:
-        pass
 
-
-class PoolExecutor:
+class PoolExecutor(BaseExecutor):
     """Real multiprocessing over shared-memory FABs.
 
     The pool is created lazily on first offload so the fork snapshots a
@@ -172,17 +219,47 @@ class PoolExecutor:
         worker = self._worker_ids.setdefault(pid, len(self._worker_ids) + 1)
         on_done(task, worker, dur)
 
-    def shutdown(self) -> None:
+    def cancel_pending(self) -> None:
+        """Terminate workers and drop in-flight tasks and stale results.
+
+        Killing the pool (instead of joining forever) guarantees no
+        half-finished task can write to shared memory after the caller
+        has decided to abandon the step; a fresh pool is forked lazily on
+        the next submit.
+        """
+        self._terminate_pool()
+        while not self._done.empty():
+            try:
+                self._done.get_nowait()
+            except queue.Empty:  # pragma: no cover - racing consumers
+                break
+        self._pending = 0
+
+    def _terminate_pool(self) -> None:
         if self._pool is not None:
             self._pool.terminate()
             self._pool.join()
             self._pool = None
 
+    def shutdown(self) -> None:
+        self._terminate_pool()
 
-def make_executor(name: str, workers: Optional[int] = None):
-    """Build an executor by config name (``runtime.executor``)."""
+
+def make_executor(name: str, workers: Optional[int] = None,
+                  supervision: Optional[dict] = None):
+    """Build an executor by config name (``runtime.executor``).
+
+    ``supervision`` (a kwargs dict for
+    :class:`~repro.resilience.supervisor.SupervisedPoolExecutor`) wraps
+    the pool in dead-worker detection, task re-submission and graceful
+    degradation; None builds the bare pool.
+    """
     if name == "serial":
         return SerialExecutor()
     if name == "pool":
+        if supervision is not None:
+            from repro.resilience.supervisor import SupervisedPoolExecutor
+
+            return SupervisedPoolExecutor(workers, **supervision)
         return PoolExecutor(workers)
     raise ValueError(f"unknown executor {name!r}; options {EXECUTORS}")

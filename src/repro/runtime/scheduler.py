@@ -184,6 +184,29 @@ class Scheduler:
             # windows were open when it finished
             complete(task, worker=worker, dur=dur, t0=now() - dur)
 
+        try:
+            self._drive(graph, remaining, ready, unmet, run_inline,
+                        on_offload_done)
+        except Exception:
+            # a failed task must not leave zombie work behind: abandon
+            # anything in flight (terminating pool workers so no stale
+            # write can land later) before the error propagates to the
+            # step-retry machinery
+            cancel = getattr(self.executor, "cancel_pending", None)
+            if cancel is not None:
+                cancel()
+            raise
+
+        # any window never closed by a comm-wait closes at makespan end
+        for t_open in open_windows.values():
+            windows.append((t_open, now()))
+        report.makespan_s = now()
+        report.overlap_s = _interval_overlap(compute_spans, windows)
+        return report
+
+    def _drive(self, graph, remaining, ready, unmet, run_inline,
+               on_offload_done) -> None:
+        """The scheduling loop: saturate the pool, run inline, drain."""
         while remaining:
             # keep the pool saturated with ready offloadable work before
             # the driver commits to an inline task
@@ -219,13 +242,6 @@ class Scheduler:
                     f"scheduler stalled with no ready tasks: {stuck}")
         while self.executor.in_flight():  # pragma: no cover - drained above
             self.executor.wait_one()
-
-        # any window never closed by a comm-wait closes at makespan end
-        for t_open in open_windows.values():
-            windows.append((t_open, now()))
-        report.makespan_s = now()
-        report.overlap_s = _interval_overlap(compute_spans, windows)
-        return report
 
 
 def _interval_overlap(spans: List[Tuple[float, float]],

@@ -1,0 +1,108 @@
+"""Chaos acceptance: worker kill + NaN + comm drop + kill-mid-checkpoint
+in one pool-mode DMR run, which must complete, match the fault-free run
+to < 1e-12, and account for every injected fault in the run report."""
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.cases.dmr import DoubleMachReflection
+from repro.core.crocco import Crocco, CroccoConfig
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.report import format_report, resilience_totals
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+#: one of each headline fault class, all mid-run
+CHAOS_PLAN = "kill_worker@1.1;nan@2;drop_comm@3.0:fb;kill_save@1;seed=7"
+
+
+def run_dmr(steps=5, **overrides):
+    defaults = dict(version="2.0", nranks=6, ranks_per_node=6, max_level=1,
+                    max_grid_size=32, blocking_factor=8, regrid_int=2)
+    defaults.update(overrides)
+    case = DoubleMachReflection(ncells=(64, 16), curvilinear=True)
+    sim = Crocco(case, CroccoConfig(**defaults))
+    sim.initialize()
+    sim.run(steps)
+    return sim
+
+
+def grab_state(sim):
+    return {(lev, i): fab.whole().copy()
+            for lev in range(sim.finest_level + 1)
+            for i, fab in sim.state[lev]}
+
+
+@pytest.mark.skipif(not HAS_FORK, reason="needs fork start method")
+class TestChaosRun:
+    @pytest.fixture(scope="class")
+    def chaos(self, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("chaos")
+        clean = run_dmr(executor="serial")
+        ref = grab_state(clean)
+        clean.close()
+
+        sim = run_dmr(
+            executor="pool", workers=2, task_timeout=0.75,
+            faults_plan=CHAOS_PLAN,
+            autocheckpoint_every=2,
+            autocheckpoint_dir=str(tmp / "auto"),
+            metrics_out=str(tmp / "metrics.jsonl"),
+        )
+        state = grab_state(sim)
+        fired = sim.faults.fired_by_kind()
+        stats = sim.resilience.as_dict()
+        last_good = sim.watchdog.last_good
+        sim.close()
+        records = MetricsRegistry.read_jsonl(tmp / "metrics.jsonl")
+        return dict(ref=ref, state=state, fired=fired, stats=stats,
+                    last_good=last_good, records=records, tmp=tmp)
+
+    def test_every_fault_fired(self, chaos):
+        assert chaos["fired"] == {"kill_worker": 1, "nan": 1,
+                                  "drop_comm": 1, "kill_save": 1}
+
+    def test_matches_fault_free(self, chaos):
+        assert set(chaos["ref"]) == set(chaos["state"])
+        for k in chaos["ref"]:
+            err = float(np.abs(chaos["ref"][k] - chaos["state"][k]).max())
+            assert err < 1e-12, f"level/box {k}: max abs err {err}"
+
+    def test_recovery_actions_counted(self, chaos):
+        s = chaos["stats"]
+        assert s["pool_restarts"] >= 1       # kill_worker
+        assert s["nan_detections"] == 1      # nan
+        assert s["checkpoint_failures"] == 1  # kill_save hit autocheckpoint
+        assert s["recovered_steps"] >= 3     # kill + nan + drop all retried
+        assert s["dt_halvings"] == 0         # retries kept the original dt
+        assert s["degraded_to_serial"] == 0
+
+    def test_survived_kill_mid_save(self, chaos):
+        # the first autocheckpoint (step 2) was killed; the second (step 4)
+        # must have published and be loadable
+        assert chaos["last_good"] is not None
+        assert chaos["last_good"].name == "chk_step000004"
+        from repro.io.checkpoint import load_checkpoint
+
+        case = DoubleMachReflection(ncells=(64, 16), curvilinear=True)
+        target = Crocco(case, CroccoConfig(
+            version="2.0", nranks=6, ranks_per_node=6, max_level=1,
+            max_grid_size=32, blocking_factor=8, regrid_int=2))
+        load_checkpoint(chaos["last_good"], target)
+        assert target.step_count == 4
+        target.close()
+
+    def test_report_accounts_for_faults(self, chaos):
+        totals = resilience_totals(chaos["records"])
+        assert totals["faults_injected"] == 4
+        assert totals["injected.kill_worker"] == 1
+        assert totals["injected.nan"] == 1
+        assert totals["injected.drop_comm"] == 1
+        assert totals["injected.kill_save"] == 1
+        assert totals["pool_restarts"] == chaos["stats"]["pool_restarts"]
+        text = format_report([], {}, chaos["records"])
+        assert "-- resilience --" in text
+        assert "faults injected      4" in text
+        assert "run completed" in text

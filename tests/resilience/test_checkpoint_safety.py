@@ -1,0 +1,169 @@
+"""Crash-safe checkpointing: atomic publish, digests, corruption diagnosis."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cases.shocktube import SodShockTube
+from repro.core.crocco import Crocco, CroccoConfig
+from repro.io.checkpoint import (CheckpointError, latest_checkpoint,
+                                 load_checkpoint, save_checkpoint)
+from repro.resilience.faults import InjectedCheckpointCrash
+
+
+def make_sim(steps=2, **overrides):
+    defaults = dict(version="1.1", max_grid_size=16, blocking_factor=8)
+    defaults.update(overrides)
+    sim = Crocco(SodShockTube(32), CroccoConfig(**defaults))
+    sim.initialize()
+    if steps:
+        sim.run(steps)
+    return sim
+
+
+def fresh_sim():
+    return Crocco(SodShockTube(32),
+                  CroccoConfig(version="1.1", max_grid_size=16,
+                               blocking_factor=8))
+
+
+class TestCorruptionModes:
+    """Every corruption mode raises CheckpointError with a diagnosis."""
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(CheckpointError, match="does not exist"):
+            load_checkpoint(tmp_path / "nope", fresh_sim())
+
+    def test_missing_header(self, tmp_path):
+        sim = make_sim()
+        ck = save_checkpoint(tmp_path / "chk", sim)
+        (ck / "Header").unlink()
+        with pytest.raises(CheckpointError, match="no Header"):
+            load_checkpoint(ck, fresh_sim())
+        sim.close()
+
+    def test_corrupt_header_json(self, tmp_path):
+        sim = make_sim()
+        ck = save_checkpoint(tmp_path / "chk", sim)
+        (ck / "Header").write_text("{ not json")
+        with pytest.raises(CheckpointError, match="bad JSON"):
+            load_checkpoint(ck, fresh_sim())
+        sim.close()
+
+    def test_wrong_format_tag(self, tmp_path):
+        sim = make_sim()
+        ck = save_checkpoint(tmp_path / "chk", sim)
+        meta = json.loads((ck / "Header").read_text())
+        meta["format"] = "repro-checkpoint-0"
+        (ck / "Header").write_text(json.dumps(meta))
+        with pytest.raises(CheckpointError, match="format tag"):
+            load_checkpoint(ck, fresh_sim())
+        sim.close()
+
+    def test_version_mismatch_is_value_error(self, tmp_path):
+        sim = make_sim()
+        ck = save_checkpoint(tmp_path / "chk", sim)
+        other = Crocco(SodShockTube(32),
+                       CroccoConfig(version="2.0", max_grid_size=16))
+        with pytest.raises(ValueError, match="written by CRoCCo"):
+            load_checkpoint(ck, other)
+        sim.close()
+
+    def test_level_count_mismatch(self, tmp_path):
+        sim = make_sim()
+        ck = save_checkpoint(tmp_path / "chk", sim)
+        meta = json.loads((ck / "Header").read_text())
+        meta["finest_level"] = 1  # claims two levels, records one
+        (ck / "Header").write_text(json.dumps(meta))
+        with pytest.raises(CheckpointError, match="inconsistent"):
+            load_checkpoint(ck, fresh_sim())
+        sim.close()
+
+    def test_missing_level_file(self, tmp_path):
+        sim = make_sim()
+        ck = save_checkpoint(tmp_path / "chk", sim)
+        (ck / "Level_0.npz").unlink()
+        with pytest.raises(CheckpointError, match="missing Level_0"):
+            load_checkpoint(ck, fresh_sim())
+        sim.close()
+
+    def test_truncated_level_file(self, tmp_path):
+        sim = make_sim()
+        ck = save_checkpoint(tmp_path / "chk", sim)
+        data = (ck / "Level_0.npz").read_bytes()
+        (ck / "Level_0.npz").write_bytes(data[: len(data) // 2])
+        with pytest.raises(CheckpointError, match="SHA-256"):
+            load_checkpoint(ck, fresh_sim())
+        sim.close()
+
+    def test_driver_not_touched_on_corrupt_load(self, tmp_path):
+        sim = make_sim()
+        ck = save_checkpoint(tmp_path / "chk", sim)
+        data = (ck / "Level_0.npz").read_bytes()
+        (ck / "Level_0.npz").write_bytes(data[:-10])
+        target = fresh_sim()
+        with pytest.raises(CheckpointError):
+            load_checkpoint(ck, target)
+        # validation happens before any mutation: still uninitialized
+        assert target.finest_level == -1
+        sim.close()
+
+
+class TestAtomicPublish:
+    def test_overwrite_is_atomic_swap(self, tmp_path):
+        sim = make_sim(steps=1)
+        save_checkpoint(tmp_path / "chk", sim)
+        sim.run(1)
+        ck = save_checkpoint(tmp_path / "chk", sim)
+        target = fresh_sim()
+        load_checkpoint(ck, target)
+        assert target.step_count == 2
+        assert not (tmp_path / ".chk.partial").exists()
+        assert not (tmp_path / ".chk.old").exists()
+        sim.close()
+
+    def test_kill_mid_save_preserves_previous(self, tmp_path):
+        sim = make_sim(steps=1, faults_plan="kill_save@2 seed=1")
+        ck = save_checkpoint(tmp_path / "chk", sim)  # save #1 untouched
+        sim.run(1)
+        with pytest.raises(InjectedCheckpointCrash):
+            save_checkpoint(tmp_path / "chk", sim)  # save #2 killed
+        # no partial debris, and the first checkpoint is intact
+        assert not (tmp_path / ".chk.partial").exists()
+        target = fresh_sim()
+        load_checkpoint(ck, target)
+        assert target.step_count == 1
+        for i, fab in target.state[0]:
+            assert np.isfinite(fab.whole()).all()
+        sim.close()
+
+    def test_roundtrip_into_used_driver(self, tmp_path):
+        sim = make_sim(steps=2)
+        ck = save_checkpoint(tmp_path / "chk", sim)
+        ref = {i: fab.whole().copy() for i, fab in sim.state[0]}
+        sim.run(2)  # diverge past the snapshot
+        load_checkpoint(ck, sim)  # restore in place, hierarchy rebuilt
+        assert sim.step_count == 2
+        for i, arr in ref.items():
+            np.testing.assert_array_equal(arr, sim.state[0].fab(i).whole())
+        sim.close()
+
+
+class TestLatest:
+    def test_latest_skips_incomplete(self, tmp_path):
+        sim = make_sim(steps=1)
+        save_checkpoint(tmp_path / "chk_step000001", sim)
+        sim.run(1)
+        good = save_checkpoint(tmp_path / "chk_step000002", sim)
+        # a later save that died before its Header landed
+        broken = tmp_path / "chk_step000003"
+        broken.mkdir()
+        (broken / "Level_0.npz").write_bytes(b"partial")
+        (tmp_path / ".chk_step000004.partial").mkdir()
+        assert latest_checkpoint(tmp_path) == good
+        sim.close()
+
+    def test_latest_empty_dir(self, tmp_path):
+        assert latest_checkpoint(tmp_path) is None
+        assert latest_checkpoint(tmp_path / "missing") is None

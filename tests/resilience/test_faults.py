@@ -1,0 +1,146 @@
+"""Fault-plan grammar, deterministic targeting, one-shot firing."""
+
+import numpy as np
+import pytest
+
+from repro.cases.shocktube import SodShockTube
+from repro.core.crocco import Crocco, CroccoConfig
+from repro.resilience.faults import (FaultInjector, InjectedCommDrop,
+                                     InjectedTaskError, parse_plan)
+from repro.runtime.graph import Task, TaskGraph
+
+
+class TestPlanGrammar:
+    def test_tokens(self):
+        specs, seed = parse_plan(
+            "seed=42 kill_worker@2.1 nan@3 slow@1:0.5 drop_comm@0:fb")
+        assert seed == 42
+        assert [(s.kind, s.step, s.stage, s.arg) for s in specs] == [
+            ("kill_worker", 2, 1, None),
+            ("nan", 3, 0, None),
+            ("slow", 1, 0, "0.5"),
+            ("drop_comm", 0, 0, "fb"),
+        ]
+
+    def test_semicolon_separated(self):
+        specs, seed = parse_plan("kill_worker@1;nan@2;seed=9")
+        assert len(specs) == 2
+        assert seed == 9
+
+    def test_bad_token(self):
+        with pytest.raises(ValueError, match="bad fault token"):
+            parse_plan("kill_worker@")
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            parse_plan("meteor_strike@3")
+
+    def test_empty_plan_is_none(self):
+        assert FaultInjector.from_config("") is None
+        assert FaultInjector.from_config(None) is None
+        assert FaultInjector.from_config("  ;  ") is None
+
+    def test_explicit_seed_overrides_plan(self):
+        inj = FaultInjector.from_config("nan@1 seed=3", seed=11)
+        assert inj.seed == 11
+
+    def test_token_round_trip(self):
+        specs, _ = parse_plan("slow@2.1:1.5")
+        assert specs[0].token() == "slow@2.1:1.5"
+
+
+def fake_graph():
+    g = TaskGraph()
+    for tid, (name, kind, payload, channel) in enumerate([
+        ("FB_nowait(L0)", "comm-post", None, ("fb", 0)),
+        ("Box(L0,b0)", "compute", {"op": "rhs_update"}, None),
+        ("Box(L0,b1)", "compute", {"op": "rhs_update"}, None),
+        ("FB_finish(L0)", "comm-wait", None, ("fb", 0)),
+    ]):
+        g.tasks.append(Task(tid=tid, name=name, kind=kind,
+                            fn=lambda: None, payload=payload,
+                            channel=channel))
+    return g
+
+
+class TestInstrument:
+    def test_kill_marks_one_payload_once(self):
+        inj = FaultInjector.from_config("kill_worker@2.1 seed=5")
+        g = fake_graph()
+        inj.instrument(g, step=2, stage=1)
+        marked = [t for t in g.tasks if t.payload
+                  and t.payload.get("_fault") == ("kill",)]
+        assert len(marked) == 1
+        assert inj.fired_by_kind() == {"kill_worker": 1}
+        # one-shot: a rebuilt graph for the retried step stays clean
+        g2 = fake_graph()
+        inj.instrument(g2, step=2, stage=1)
+        assert not any(t.payload and "_fault" in t.payload
+                       for t in g2.tasks)
+
+    def test_wrong_step_or_stage_is_inert(self):
+        inj = FaultInjector.from_config("kill_worker@2.1")
+        g = fake_graph()
+        inj.instrument(g, step=2, stage=0)
+        inj.instrument(g, step=1, stage=1)
+        assert not inj.fired
+        assert len(inj.pending()) == 1
+
+    def test_deterministic_target(self):
+        targets = set()
+        for _ in range(3):
+            inj = FaultInjector.from_config("kill_worker@0 seed=7")
+            g = fake_graph()
+            inj.instrument(g, step=0, stage=0)
+            targets.add(inj.fired[0]["target"])
+        assert len(targets) == 1
+
+    def test_drop_comm_targets_matching_channel(self):
+        inj = FaultInjector.from_config("drop_comm@0:fb")
+        g = fake_graph()
+        inj.instrument(g, step=0, stage=0)
+        assert inj.fired[0]["target"] == "FB_finish(L0)"
+        with pytest.raises(InjectedCommDrop):
+            g.tasks[3].fn()
+
+    def test_task_error_wraps_inline_task(self):
+        inj = FaultInjector.from_config("task_error@0:FB_finish")
+        g = fake_graph()
+        inj.instrument(g, step=0, stage=0)
+        with pytest.raises(InjectedTaskError):
+            g.tasks[3].fn()
+
+    def test_slow_carries_duration(self):
+        inj = FaultInjector.from_config("slow@0:0.25")
+        g = fake_graph()
+        inj.instrument(g, step=0, stage=0)
+        marked = [t for t in g.tasks if t.payload and "_fault" in t.payload]
+        assert marked[0].payload["_fault"] == ("slow", 0.25)
+
+
+class TestNanSeeding:
+    def test_corrupts_exactly_one_cell(self):
+        case = SodShockTube(32)
+        sim = Crocco(case, CroccoConfig(
+            version="1.1", max_grid_size=16, blocking_factor=8,
+            watchdog=False, faults_plan="nan@1 seed=3"))
+        sim.initialize()
+        sim.run(2)
+        bad = sum(int(np.isnan(fab.whole()).sum())
+                  for _i, fab in sim.state[0])
+        assert bad == 1
+        assert sim.faults.fired_by_kind() == {"nan": 1}
+        sim.close()
+
+    def test_deterministic_cell(self):
+        cells = set()
+        for _ in range(2):
+            case = SodShockTube(32)
+            sim = Crocco(case, CroccoConfig(
+                version="1.1", max_grid_size=16, blocking_factor=8,
+                watchdog=False, faults_plan="nan@0 seed=12"))
+            sim.initialize()
+            sim.run(1)
+            cells.add(sim.faults.fired[0]["target"])
+            sim.close()
+        assert len(cells) == 1

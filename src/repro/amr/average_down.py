@@ -12,28 +12,42 @@ import numpy as np
 from repro.amr.box import Box
 from repro.amr.intvect import IntVect, IntVectLike
 from repro.amr.multifab import MultiFab
+from repro.backend import parallel_for
 
 
 def average_down(fine: MultiFab, crse: MultiFab, ratio: IntVectLike) -> None:
     """Overwrite coarse cells covered by ``fine`` with fine-cell averages.
 
     Data motion between differently-owned patches is recorded as
-    ``averagedown`` traffic in the communicator's ledger.
+    ``averagedown`` traffic in the communicator's ledger; each coarse fab's
+    restriction runs as one ``AverageDown`` launch charged with the fine
+    points it reads.
     """
     if fine.ncomp != crse.ncomp:
         raise ValueError("AverageDown component mismatch")
     r = IntVect.coerce(ratio, fine.dim)
     for i, cfab in crse:
+        pairs = []
         for j in fine.ba.intersecting(cfab.box.refine(r)):
             fbox = fine.ba[j]
             overlap_c = _fully_covered(fbox, r).intersect(cfab.box)
             if overlap_c.is_empty():
                 continue
-            overlap_f = overlap_c.refine(r)
-            fview = fine.fab(j).view(overlap_f)  # (ncomp, *fine shape)
-            avg = _block_mean(fview, r)
-            cfab.view(overlap_c)[...] = avg
-            fine.comm.send_bytes(fine.dm[j], crse.dm[i], avg.nbytes, "averagedown")
+            pairs.append((j, overlap_c, overlap_c.refine(r)))
+        if not pairs:
+            continue
+
+        def restrict(i=i, cfab=cfab, pairs=pairs):
+            for j, overlap_c, overlap_f in pairs:
+                fview = fine.fab(j).view(overlap_f)  # (ncomp, *fine shape)
+                avg = _block_mean(fview, r)
+                cfab.view(overlap_c)[...] = avg
+                fine.comm.send_bytes(fine.dm[j], crse.dm[i], avg.nbytes,
+                                     "averagedown")
+
+        parallel_for("AverageDown", restrict,
+                     sum(of.num_pts() for _, _, of in pairs),
+                     kernel_class="averagedown", rank=crse.dm[i])
 
 
 def _fully_covered(fbox: Box, r: IntVect) -> Box:

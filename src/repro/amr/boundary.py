@@ -20,6 +20,7 @@ is bit-identical to the old direct-copy loop.
 
 from __future__ import annotations
 
+from itertools import groupby
 from typing import List, Optional, Tuple
 
 import numpy as np
@@ -27,6 +28,7 @@ import numpy as np
 from repro.amr.box import Box
 from repro.amr.geometry import Geometry
 from repro.amr.multifab import MultiFab
+from repro.backend import parallel_for
 
 
 class FillBoundaryHandle:
@@ -57,15 +59,13 @@ class FillBoundaryHandle:
         ba = mf.ba
         for i, dst in mf:
             grown = dst.grown_box()
-            # direct neighbors (disjoint BoxArray => overlaps lie in ghosts)
+            # copy plan for this destination fab: (src fab, src region,
+            # dst region), direct overlaps first, then periodic images
+            plan: List[Tuple[int, Box, Box]] = []
             for j, overlap in ba.intersections(grown):
                 if j == i:
                     continue
-                buf = np.array(mf.fab(j).view(overlap), copy=True)
-                self._packets.append((i, overlap, buf))
-                mf.comm.send_bytes(mf.dm[j], mf.dm[i], buf.nbytes,
-                                   "fillboundary")
-            # periodic images
+                plan.append((j, overlap, overlap))
             if geom is not None and any(geom.periodic):
                 for shift in geom.periodic_shifts(grown):
                     shifted = grown.shift(shift)
@@ -74,10 +74,20 @@ class FillBoundaryHandle:
                         # skip the trivial self-overlap of the valid region
                         if dst.box.contains(dst_region):
                             continue
-                        buf = np.array(mf.fab(j).view(overlap), copy=True)
-                        self._packets.append((i, dst_region, buf))
-                        mf.comm.send_bytes(mf.dm[j], mf.dm[i], buf.nbytes,
-                                           "fillboundary")
+                        plan.append((j, overlap, dst_region))
+            if not plan:
+                continue
+
+            def pack(plan=plan, i=i):
+                for j, src_region, dst_region in plan:
+                    buf = np.array(mf.fab(j).view(src_region), copy=True)
+                    self._packets.append((i, dst_region, buf))
+                    mf.comm.send_bytes(mf.dm[j], mf.dm[i], buf.nbytes,
+                                       "fillboundary")
+
+            parallel_for("FB_pack", pack,
+                         sum(r.num_pts() for _, r, _ in plan),
+                         kernel_class="fillpatch", rank=mf.dm[i])
 
     @property
     def nbytes(self) -> int:
@@ -92,8 +102,18 @@ class FillBoundaryHandle:
         """Unpack every buffered message into its ghost region."""
         if self._done:
             return
-        for i, region, buf in self._packets:
-            self.mf.fab(i).view(region)[...] = buf
+        # packets are contiguous per destination fab (pack order), so one
+        # FB_unpack launch per fab preserves the exact write sequence
+        for i, group in groupby(self._packets, key=lambda p: p[0]):
+            packets = list(group)
+
+            def unpack(packets=packets):
+                for i, region, buf in packets:
+                    self.mf.fab(i).view(region)[...] = buf
+
+            parallel_for("FB_unpack", unpack,
+                         sum(r.num_pts() for _, r, _ in packets),
+                         kernel_class="fillpatch", rank=self.mf.dm[i])
         self._packets.clear()
         self._done = True
 

@@ -29,6 +29,7 @@ from repro.amr.geometry import Geometry
 from repro.amr.intvect import IntVect, IntVectLike
 from repro.amr.interpolate import Interpolator
 from repro.amr.multifab import MultiFab
+from repro.backend import parallel_for
 
 #: signature: bc_fill(fab, geom, time) fills ghost cells outside the domain
 BCFill = Callable[[FArrayBox, Geometry, float], None]
@@ -37,6 +38,18 @@ BCFill = Callable[[FArrayBox, Geometry, float], None]
 def _region(profiler, name: str):
     """The profiler's sub-region, or a no-op context when unprofiled."""
     return profiler.region(name) if profiler is not None else nullcontext()
+
+
+def _bc_fill_launch(bc_fill: BCFill, fab: FArrayBox, geom: Geometry,
+                    time: float, rank: int) -> None:
+    """Run one fab's physical boundary fill as a labeled launch.
+
+    BC fills touch only the ghost frame, so the launch is charged the
+    grown-minus-valid point count.
+    """
+    ghost_pts = fab.grown_box().num_pts() - fab.box.num_pts()
+    parallel_for("BC_fill", lambda: bc_fill(fab, geom, time),
+                 ghost_pts, kernel_class="fillpatch", rank=rank)
 
 
 class FillPatchOp:
@@ -141,10 +154,12 @@ class FillPatchOp:
         if self.bc_fill is None:
             return
         if i is not None:
-            self.bc_fill(self.fine.fab(i), self.geom_fine, self.time)
+            _bc_fill_launch(self.bc_fill, self.fine.fab(i), self.geom_fine,
+                            self.time, self.fine.dm[i])
             return
-        for _, fab in self.fine:
-            self.bc_fill(fab, self.geom_fine, self.time)
+        for j, fab in self.fine:
+            _bc_fill_launch(self.bc_fill, fab, self.geom_fine, self.time,
+                            self.fine.dm[j])
 
 
 def fill_patch_single_level(
@@ -221,8 +236,8 @@ def fill_coarse_patch(
                 fine.comm, fine.dm[i],
             )
     if bc_fill is not None:
-        for _, fab in fine:
-            bc_fill(fab, geom_fine, time)
+        for i, fab in fine:
+            _bc_fill_launch(bc_fill, fab, geom_fine, time, fine.dm[i])
 
 
 def _interp_piece(
@@ -244,7 +259,10 @@ def _interp_piece(
         # stencil coordinates: one extra cell so edge weights are defined
         ccoords = _gather_coarse(coords_tmp, cregion.grow(1), comm, dst_rank,
                                  use_ghosts=True)
-    vals = interp.interp(ctmp, piece, ratio, ccoords, fine_coords_fab)
+    vals = parallel_for(
+        f"Interp_{interp.kernel_label}",
+        lambda: interp.interp(ctmp, piece, ratio, ccoords, fine_coords_fab),
+        piece.num_pts(), kernel_class="interp", rank=dst_rank)
     nc = min(fab.ncomp, vals.shape[0])
     fab.view(piece, slice(0, nc))[...] = vals[:nc]
 
@@ -261,15 +279,21 @@ def _gather_coarse(src: MultiFab, region: Box, comm, dst_rank: int,
     """
     tmp = FArrayBox(region, src.ncomp)
     tmp.data.fill(np.nan)
-    found = False
-    for j, sfab in src:
-        avail = sfab.grown_box() if use_ghosts else sfab.box
-        overlap = avail.intersect(region)
-        if overlap.is_empty():
-            continue
-        nbytes = tmp.copy_from(sfab, overlap)
-        comm.send_bytes(src.dm[j], dst_rank, nbytes, "parallelcopy")
-        found = True
+
+    def gather() -> bool:
+        found = False
+        for j, sfab in src:
+            avail = sfab.grown_box() if use_ghosts else sfab.box
+            overlap = avail.intersect(region)
+            if overlap.is_empty():
+                continue
+            nbytes = tmp.copy_from(sfab, overlap)
+            comm.send_bytes(src.dm[j], dst_rank, nbytes, "parallelcopy")
+            found = True
+        return found
+
+    found = parallel_for("PC_gather", gather, region.num_pts(),
+                         kernel_class="fillpatch", rank=dst_rank)
     if not found:
         raise ValueError(f"no coarse data available for region {region}")
     _nearest_fill(tmp.data)

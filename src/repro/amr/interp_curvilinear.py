@@ -31,6 +31,7 @@ class CurvilinearInterp(Interpolator):
 
     radius = 1
     needs_coords = True
+    kernel_label = "curvilinear"
 
     def interp(
         self,

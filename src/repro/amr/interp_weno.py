@@ -76,6 +76,7 @@ class WenoInterp(Interpolator):
     """Dimension-by-dimension nonlinear WENO interpolation (4th order smooth)."""
 
     radius = 2
+    kernel_label = "weno"
 
     def interp(
         self,

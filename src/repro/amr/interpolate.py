@@ -36,6 +36,9 @@ class Interpolator:
     #: whether the interpolator needs physical coordinates (curvilinear)
     needs_coords: bool = False
 
+    #: suffix of the ``Interp_<label>`` launch name in device accounting
+    kernel_label: str = "generic"
+
     def coarse_region(self, fine_region: Box, ratio: IntVectLike) -> Box:
         """The coarse-index region required to fill ``fine_region``."""
         return fine_region.coarsen(ratio).grow(self.radius)
@@ -79,6 +82,7 @@ class TrilinearInterp(Interpolator):
     """
 
     radius = 1
+    kernel_label = "trilinear"
 
     def interp(self, cfab, fine_region, ratio, crse_coords=None, fine_coords=None):
         ratio = IntVect.coerce(ratio, fine_region.dim)
@@ -116,6 +120,7 @@ class PiecewiseConstantInterp(Interpolator):
     """Injection: every fine cell takes its covering coarse cell's value."""
 
     radius = 0
+    kernel_label = "pconst"
 
     def interp(self, cfab, fine_region, ratio, crse_coords=None, fine_coords=None):
         ratio = IntVect.coerce(ratio, fine_region.dim)
@@ -141,6 +146,7 @@ class ConservativeLinearInterp(Interpolator):
     """
 
     radius = 1
+    kernel_label = "conslinear"
 
     def interp(self, cfab, fine_region, ratio, crse_coords=None, fine_coords=None):
         ratio = IntVect.coerce(ratio, fine_region.dim)

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.amr.multifab import MultiFab
+from repro.backend import parallel_for
 
 
 def parallel_copy(
@@ -37,6 +38,17 @@ def parallel_copy(
         raise ValueError("component range out of bounds in ParallelCopy")
     for i, dfab in dst:
         region = dfab.grown_box() if fill_ghosts else dfab.box
-        for j, overlap in src.ba.intersections(region):
-            nbytes = dfab.copy_from(src.fab(j), overlap, src_comp, dst_comp, nc)
-            dst.comm.send_bytes(src.dm[j], dst.dm[i], nbytes, "parallelcopy")
+        overlaps = src.ba.intersections(region)
+        if not overlaps:
+            continue
+
+        def copy(i=i, dfab=dfab, overlaps=overlaps):
+            for j, overlap in overlaps:
+                nbytes = dfab.copy_from(src.fab(j), overlap, src_comp,
+                                        dst_comp, nc)
+                dst.comm.send_bytes(src.dm[j], dst.dm[i], nbytes,
+                                    "parallelcopy")
+
+        parallel_for("PC_copy", copy,
+                     sum(o.num_pts() for _, o in overlaps),
+                     kernel_class="fillpatch", rank=dst.dm[i])

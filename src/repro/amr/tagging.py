@@ -20,6 +20,7 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from repro.amr.multifab import MultiFab
+from repro.backend import parallel_for
 
 
 def undivided_gradient_magnitude(arr: np.ndarray) -> np.ndarray:
@@ -56,9 +57,18 @@ def _gradient_on_valid(fab, comp: int) -> np.ndarray:
     return undivided_gradient_magnitude(fab.valid()[comp])
 
 
+def _tag_launch(name: str, mf: MultiFab, i: int, fn) -> np.ndarray:
+    """Run one fab's tagging criterion as a labeled launch."""
+    return parallel_for(name, fn, mf.ba[i].num_pts(),
+                        kernel_class="tagging", rank=mf.dm[i])
+
+
 def tag_density_gradient(mf: MultiFab, rho_comp: int, threshold: float) -> Dict[int, np.ndarray]:
     """Boolean tags per box index, using |grad rho| > threshold."""
-    return {i: _gradient_on_valid(fab, rho_comp) > threshold for i, fab in mf}
+    return {i: _tag_launch(
+                "Tag_gradient", mf, i,
+                lambda fab=fab: _gradient_on_valid(fab, rho_comp) > threshold)
+            for i, fab in mf}
 
 
 def tag_momentum_gradient(mf: MultiFab, mom_comps: Tuple[int, ...],
@@ -66,16 +76,22 @@ def tag_momentum_gradient(mf: MultiFab, mom_comps: Tuple[int, ...],
     """Boolean tags using max over momentum components of the gradient."""
     tags = {}
     for i, fab in mf:
-        grad = np.zeros(fab.box.shape())
-        for c in mom_comps:
-            np.maximum(grad, _gradient_on_valid(fab, c), out=grad)
-        tags[i] = grad > threshold
+        def criterion(fab=fab):
+            grad = np.zeros(fab.box.shape())
+            for c in mom_comps:
+                np.maximum(grad, _gradient_on_valid(fab, c), out=grad)
+            return grad > threshold
+
+        tags[i] = _tag_launch("Tag_gradient", mf, i, criterion)
     return tags
 
 
 def tag_value_threshold(mf: MultiFab, comp: int, threshold: float) -> Dict[int, np.ndarray]:
     """Boolean tags where |value| exceeds a threshold."""
-    return {i: np.abs(fab.valid()[comp]) > threshold for i, fab in mf}
+    return {i: _tag_launch(
+                "Tag_value", mf, i,
+                lambda fab=fab: np.abs(fab.valid()[comp]) > threshold)
+            for i, fab in mf}
 
 
 def tagged_cells(mf: MultiFab, tags: Dict[int, np.ndarray]) -> np.ndarray:

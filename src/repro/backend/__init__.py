@@ -1,0 +1,21 @@
+"""Shared execution-backend layer (ParallelFor/ReduceData/LaunchContext).
+
+See :mod:`repro.backend.launch` for the design notes.
+"""
+
+from repro.backend.launch import (COUNTER_FIELDS, KERNEL_CLASSES, TARGETS,
+                                  DeviceBackend, ExecutionBackend,
+                                  HostBackend, LaunchCounter, counters_delta,
+                                  current_backend, make_exec_backend,
+                                  parallel_for, reduce_data, set_backend,
+                                  use_backend)
+
+#: the LaunchContext primitive is the ``use_backend`` context manager
+LaunchContext = use_backend
+
+__all__ = [
+    "COUNTER_FIELDS", "KERNEL_CLASSES", "TARGETS", "DeviceBackend",
+    "ExecutionBackend", "HostBackend", "LaunchContext", "LaunchCounter",
+    "counters_delta", "current_backend", "make_exec_backend", "parallel_for",
+    "reduce_data", "set_backend", "use_backend",
+]

@@ -22,6 +22,8 @@ Deck keys (beyond the ones :class:`repro.io.inputs.InputDeck` maps onto
     run.profile     = true           # print profiler + ledger reports at end
     runtime.executor = serial        # or pool: multiprocessing task runtime
     runtime.workers  = 4             # pool worker count (default: CPU count)
+    backend.target   = auto          # execution backend: host | device | auto
+                                     # (or the REPRO_BACKEND env var)
     resilience.watchdog = true       # per-step NaN/positivity/CFL validation
     resilience.max_step_retries = 3  # rollback/retry budget per step
     resilience.retries      = 2      # supervised-pool per-task retry budget
@@ -107,6 +109,11 @@ def main(argv: Optional[list] = None) -> int:
                              "(multiprocessing workers, comm/compute overlap)")
     parser.add_argument("--workers", type=int, default=None,
                         help="override runtime.workers (pool size)")
+    parser.add_argument("--backend", default=None,
+                        choices=["host", "device", "auto"],
+                        help="override backend.target: 'host' (plain "
+                             "NumPy), 'device' (recorded launches on the "
+                             "simulated GPUs), or 'auto' (per version)")
     parser.add_argument("--faults", default=None, metavar="PLAN",
                         help="fault-injection plan, e.g. "
                              "'kill_worker@2.1;nan@4' (overrides "
@@ -141,6 +148,8 @@ def main(argv: Optional[list] = None) -> int:
         config.executor = args.executor
     if args.workers:
         config.workers = args.workers
+    if args.backend:
+        config.backend_target = args.backend
     if args.faults is not None:
         config.faults_plan = args.faults
     if args.faults_seed is not None:

@@ -98,6 +98,12 @@ class CroccoConfig:
     workers: Optional[int] = field(
         default_factory=lambda: int(os.environ["REPRO_WORKERS"])
         if os.environ.get("REPRO_WORKERS") else None)
+    #: execution-backend target: "host" (plain NumPy), "device" (recorded
+    #: launches on the simulated GPUs), or "auto" (device on the GPU
+    #: versions, host otherwise); deck key ``backend.target``, overridden
+    #: by the REPRO_BACKEND env var for CI matrices
+    backend_target: str = field(
+        default_factory=lambda: os.environ.get("REPRO_BACKEND", "auto"))
 
     # -- resilience (deck section ``resilience.*``) -----------------------
     #: validate every step (NaN/Inf, positivity spikes, CFL blowup) and
@@ -169,6 +175,31 @@ class Crocco(AmrCore):
 
             self.devices = [GpuDevice(name=f"V100-rank{r}")
                             for r in range(comm.nranks)]
+
+        # execution backend: every launch — flux kernels and the AMR
+        # substrate alike — routes through this shared target
+        from repro.backend import TARGETS, make_exec_backend
+
+        target = self.config.backend_target or "auto"
+        if target == "auto":
+            target = self.version.exec_target
+        if target not in TARGETS:
+            raise ValueError(
+                f"unknown backend target {target!r}; options "
+                f"{TARGETS + ('auto',)}")
+        self.backend_target = target
+        backend_devices = self.devices
+        if target == "device" and backend_devices is None:
+            # a CPU version forced onto the device target gets accounting
+            # devices of its own; self.devices stays None so the residency
+            # and memory-report logic keeps its CPU-version behavior
+            from repro.kernels.device import GpuDevice
+
+            backend_devices = [GpuDevice(name=f"V100-rank{r}")
+                               for r in range(comm.nranks)]
+            self._backend_devices = backend_devices
+        self.exec_backend = make_exec_backend(target, backend_devices)
+
         self.kernels = make_backend(
             self.version.backend,
             case.layout,
@@ -176,6 +207,7 @@ class Crocco(AmrCore):
             convective=ConvectiveFlux(scheme=WenoScheme(variant=self.config.weno_variant)),
             viscous=case.viscous,
             device=self.devices[0] if self.devices else None,
+            exec_backend=self.exec_backend,
         )
         self.ng = self.kernels.nghost
         interp_name = self.config.interpolator or self.version.interpolator
@@ -242,7 +274,9 @@ class Crocco(AmrCore):
     # -- initialization (InitGrid / InitGridMetrics / InitFlow) ---------------
     def initialize(self) -> None:
         """Build the initial hierarchy and flow field."""
-        with self.profiler.region("Init"):
+        from repro.backend import use_backend
+
+        with use_backend(self.exec_backend), self.profiler.region("Init"):
             if self.config.coords_source == "file":
                 self._write_coords_file()
             self.init_from_scratch()
@@ -394,8 +428,14 @@ class Crocco(AmrCore):
     def _bc_fill(self, lev: int) -> None:
         with self.profiler.region("BC_Fill"):
             geom = self.geoms[lev]
-            for i, fab in self.state[lev]:
-                self.case.bc_fill(fab, geom, self.time, self.coords[lev].fab(i))
+            mf = self.state[lev]
+            for i, fab in mf:
+                ghost_pts = fab.grown_box().num_pts() - fab.box.num_pts()
+                self.exec_backend.parallel_for(
+                    "BC_fill",
+                    lambda fab=fab, i=i: self.case.bc_fill(
+                        fab, geom, self.time, self.coords[lev].fab(i)),
+                    ghost_pts, kernel_class="fillpatch", rank=mf.dm[i])
 
     def _fill_patch(self, lev: int) -> None:
         with self.profiler.region("FillPatch"):
@@ -421,15 +461,21 @@ class Crocco(AmrCore):
             self.step()
 
     def step(self) -> None:
-        if self.version.amr and self.config.max_level > 0:
-            if self.step_count % self.regrid_interval() == 0:
-                with self.profiler.region("Regrid"):
-                    self.regrid()
-                self.regrid_count += 1
-        if self.watchdog is not None:
-            self.watchdog.guarded_advance(self)
-        else:
-            self._advance(self._compute_dt())
+        from repro.backend import use_backend
+
+        # the LaunchContext routes every AMR-substrate launch of this step
+        # (regrid, FillPatch, tagging, ComputeDt, ...) to the configured
+        # execution backend
+        with use_backend(self.exec_backend):
+            if self.version.amr and self.config.max_level > 0:
+                if self.step_count % self.regrid_interval() == 0:
+                    with self.profiler.region("Regrid"):
+                        self.regrid()
+                    self.regrid_count += 1
+            if self.watchdog is not None:
+                self.watchdog.guarded_advance(self)
+            else:
+                self._advance(self._compute_dt())
         if self.recorder is not None:
             self.recorder.sample_step(self)
 

@@ -35,6 +35,12 @@ class VersionConfig:
         return self.backend == "gpu"
 
     @property
+    def exec_target(self) -> str:
+        """Default execution-backend target: recorded device launches for
+        the GPU versions, plain host execution for the CPU ones."""
+        return "device" if self.on_gpu else "host"
+
+    @property
     def uses_global_parallelcopy(self) -> bool:
         """The custom curvilinear interpolator gathers coordinates globally."""
         return self.amr and self.interpolator == "curvilinear"

@@ -109,6 +109,9 @@ class InputDeck:
         workers = self.get_int("runtime.workers")
         if workers:
             cfg.workers = workers
+        target = self.get_str("backend.target")
+        if target:
+            cfg.backend_target = target
         # run.record = DIR is shorthand for both artifacts in one run dir
         record = self.get_str("run.record")
         if record:

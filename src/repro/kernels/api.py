@@ -32,6 +32,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.backend import (DeviceBackend, ExecutionBackend, HostBackend)
 from repro.kernels.counts import (
     BUDGETS,
     COMPUTEDT_BUDGET,
@@ -66,6 +67,9 @@ class KernelSet:
     #: Sec. VI-A) evaluates the flux kernels in float32 on the gpu backend
     #: while keeping the state and the RK update in float64
     precision: str = "double"
+    #: the execution backend launches route through; defaults to a device
+    #: backend over this KernelSet's device on gpu, a host backend otherwise
+    exec_backend: Optional[ExecutionBackend] = None
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -76,6 +80,9 @@ class KernelSet:
             raise ValueError("mixed precision is a GPU-backend experiment")
         if self.backend == "gpu" and self.device is None:
             self.device = GpuDevice()
+        if self.exec_backend is None:
+            self.exec_backend = (DeviceBackend([self.device])
+                                 if self.backend == "gpu" else HostBackend())
         # the translated (cpp/gpu) kernels evaluate the LF split in the
         # re-associated form — the fortran/C++ floating-point divergence
         from dataclasses import replace
@@ -129,43 +136,33 @@ class KernelSet:
                         ng: int, device: Optional[GpuDevice] = None) -> np.ndarray:
         name = DIRECTION_NAMES[d]
         dev = device if device is not None else self.device
+        body = lambda: self.convective.divergence(
+            self.layout, self.eos, u, metrics, d, ng)
+        npts = int(np.prod([s - 2 * ng for s in u.shape[1:]]))
         if self.on_gpu:
-            npts = int(np.prod([s - 2 * ng for s in u.shape[1:]]))
             # scratch arrays live in device global memory, allocated from
             # the host before launch (Sec. IV-B)
             scratch = dev.alloc((self.layout.ncons,) + u.shape[1:])
             try:
-                return dev.launch(
-                    name,
-                    lambda: self.convective.divergence(
-                        self.layout, self.eos, u, metrics, d, ng
-                    ),
-                    npoints=npts,
-                    flops_per_point=WENO_BUDGET.flops_per_point,
-                    dram_bytes_per_point=WENO_BUDGET.dram_bytes_per_point,
-                    l2_amplification=WENO_BUDGET.l2_amplification,
-                    l1_amplification=WENO_BUDGET.l1_amplification,
-                )
+                return self.exec_backend.parallel_for(
+                    name, body, npts, kernel_class="flux",
+                    budget=WENO_BUDGET, device=dev)
             finally:
                 scratch.free()
-        return self.convective.divergence(self.layout, self.eos, u, metrics, d, ng)
+        return self.exec_backend.parallel_for(
+            name, body, npts, kernel_class="flux", budget=WENO_BUDGET,
+            device=dev)
 
     def _viscous(self, u: np.ndarray, metrics: Metrics, ng: int,
                  device: Optional[GpuDevice] = None) -> np.ndarray:
         assert self.viscous is not None
         dev = device if device is not None else self.device
-        if self.on_gpu:
-            npts = int(np.prod([s - 2 * ng for s in u.shape[1:]]))
-            return dev.launch(
-                "Viscous",
-                lambda: self.viscous.divergence(self.layout, self.eos, u, metrics, ng),
-                npoints=npts,
-                flops_per_point=VISCOUS_BUDGET.flops_per_point,
-                dram_bytes_per_point=VISCOUS_BUDGET.dram_bytes_per_point,
-                l2_amplification=VISCOUS_BUDGET.l2_amplification,
-                l1_amplification=VISCOUS_BUDGET.l1_amplification,
-            )
-        return self.viscous.divergence(self.layout, self.eos, u, metrics, ng)
+        npts = int(np.prod([s - 2 * ng for s in u.shape[1:]]))
+        return self.exec_backend.parallel_for(
+            "Viscous",
+            lambda: self.viscous.divergence(self.layout, self.eos, u,
+                                            metrics, ng),
+            npts, kernel_class="flux", budget=VISCOUS_BUDGET, device=dev)
 
     # -- RK update kernel -----------------------------------------------------
     def update(self, u_valid: np.ndarray, du: np.ndarray, rhs: np.ndarray,
@@ -173,35 +170,20 @@ class KernelSet:
                device: Optional[GpuDevice] = None) -> None:
         """Low-storage RK stage over one patch's valid region, in place."""
         dev = device if device is not None else self.device
-        if self.on_gpu:
-            npts = int(np.prod(u_valid.shape[1:]))
-            dev.launch(
-                "Update",
-                lambda: rk3_stage(u_valid, du, rhs, dt, stage),
-                npoints=npts,
-                flops_per_point=UPDATE_BUDGET.flops_per_point,
-                dram_bytes_per_point=UPDATE_BUDGET.dram_bytes_per_point,
-            )
-        else:
-            rk3_stage(u_valid, du, rhs, dt, stage)
+        npts = int(np.prod(u_valid.shape[1:]))
+        self.exec_backend.parallel_for(
+            "Update",
+            lambda: rk3_stage(u_valid, du, rhs, dt, stage),
+            npts, kernel_class="update", budget=UPDATE_BUDGET, device=dev)
 
     # -- ComputeDt ----------------------------------------------------------
     def max_rate(self, u: np.ndarray, metrics: Metrics,
                  device: Optional[GpuDevice] = None) -> float:
-        """Patch CFL rate, via the device reduction on the gpu backend."""
+        """Patch CFL rate, via the backend ReduceData (a recorded device
+        reduction on the gpu backend, plain NumPy on the host target)."""
         dev = device if device is not None else self.device
-        if self.on_gpu:
-            rho, vel, p = self.eos.primitives(self.layout, u)
-            a = self.eos.sound_speed(self.layout, u)
-            from repro.numerics.fluxes import wave_speed
-
-            total = None
-            J = metrics.jacobian()
-            for d in range(self.layout.dim):
-                w = wave_speed(vel, a, metrics.m(d), J)
-                total = w if total is None else total + w
-            return dev.reduce("ComputeDt", total, op="max")
-        return local_max_rate(self.layout, self.eos, u, metrics)
+        return local_max_rate(self.layout, self.eos, u, metrics,
+                              backend=self.exec_backend, device=dev)
 
     # -- device residency ----------------------------------------------------
     def register_state(self, nbytes: int,
@@ -239,6 +221,7 @@ def make_backend(
     convective: Optional[ConvectiveFlux] = None,
     viscous: Optional[ViscousFlux] = None,
     device: Optional[GpuDevice] = None,
+    exec_backend: Optional[ExecutionBackend] = None,
 ) -> KernelSet:
     """Convenience constructor with default operators."""
     return KernelSet(
@@ -248,4 +231,5 @@ def make_backend(
         convective=convective if convective is not None else ConvectiveFlux(),
         viscous=viscous,
         device=device,
+        exec_backend=exec_backend,
     )

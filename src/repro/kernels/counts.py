@@ -75,6 +75,100 @@ COMPUTEDT_BUDGET = KernelBudget(
     registers_per_thread=64,
 )
 
+# -- AMR-substrate budgets ---------------------------------------------------
+# The FillPatch/regrid machinery is copy-dominated: a couple of flops per
+# point (index arithmetic is free on the roofline; the nonzero count keeps
+# the arithmetic-intensity model well-defined) moving one or two 8-byte
+# components each way.  Interpolation does real arithmetic — 8 corner
+# weights x 5 components for trilinear, more for WENO — so it gets a
+# compute budget between the copies and the flux kernels.
+
+FILLBOUNDARY_BUDGET = KernelBudget(
+    name="FillBoundary",
+    flops_per_point=2.0,
+    dram_bytes_per_point=16.0,
+    l2_amplification=1.0,
+    l1_amplification=1.0,
+    registers_per_thread=32,
+)
+
+PARALLELCOPY_BUDGET = KernelBudget(
+    name="ParallelCopy",
+    flops_per_point=2.0,
+    dram_bytes_per_point=16.0,
+    l2_amplification=1.0,
+    l1_amplification=1.0,
+    registers_per_thread=32,
+)
+
+INTERP_BUDGET = KernelBudget(
+    name="Interp",
+    flops_per_point=60.0,
+    dram_bytes_per_point=96.0,
+    l2_amplification=1.2,
+    l1_amplification=1.5,
+    registers_per_thread=128,
+)
+
+AVERAGEDOWN_BUDGET = KernelBudget(
+    name="AverageDown",
+    flops_per_point=10.0,
+    dram_bytes_per_point=72.0,
+    l2_amplification=1.0,
+    l1_amplification=1.0,
+    registers_per_thread=64,
+)
+
+TAGGING_BUDGET = KernelBudget(
+    name="Tagging",
+    flops_per_point=12.0,
+    dram_bytes_per_point=24.0,
+    l2_amplification=1.0,
+    l1_amplification=1.0,
+    registers_per_thread=64,
+)
+
+BCFILL_BUDGET = KernelBudget(
+    name="BCFill",
+    flops_per_point=4.0,
+    dram_bytes_per_point=16.0,
+    l2_amplification=1.0,
+    l1_amplification=1.0,
+    registers_per_thread=32,
+)
+
 BUDGETS = {
-    b.name: b for b in (WENO_BUDGET, VISCOUS_BUDGET, UPDATE_BUDGET, COMPUTEDT_BUDGET)
+    b.name: b for b in (
+        WENO_BUDGET, VISCOUS_BUDGET, UPDATE_BUDGET, COMPUTEDT_BUDGET,
+        FILLBOUNDARY_BUDGET, PARALLELCOPY_BUDGET, INTERP_BUDGET,
+        AVERAGEDOWN_BUDGET, TAGGING_BUDGET, BCFILL_BUDGET,
+    )
 }
+
+#: launch-name prefix -> budget, for the families of labeled launches the
+#: execution backend emits (WENOx/WENOy/WENOz, FB_pack/FB_unpack, ...)
+_PREFIX_BUDGETS = (
+    ("WENO", WENO_BUDGET),
+    ("FB_", FILLBOUNDARY_BUDGET),
+    ("PC_", PARALLELCOPY_BUDGET),
+    ("Interp", INTERP_BUDGET),
+    ("Tag_", TAGGING_BUDGET),
+    ("BC_", BCFILL_BUDGET),
+)
+
+
+def budget_for_kernel(name: str) -> KernelBudget:
+    """Resolve a launch name to its cost budget.
+
+    Exact matches win; otherwise the launch-family prefix decides
+    (``WENOx`` -> WENO, ``FB_pack`` -> FillBoundary, ``Interp_weno`` ->
+    Interp, ...).  Unknown kernels are priced like the bandwidth-bound
+    Update saxpy, the most neutral assumption.
+    """
+    budget = BUDGETS.get(name)
+    if budget is not None:
+        return budget
+    for prefix, b in _PREFIX_BUDGETS:
+        if name.startswith(prefix):
+            return b
+    return UPDATE_BUDGET

@@ -43,6 +43,9 @@ class LaunchRecord:
     dram_bytes: int
     l2_bytes: int
     l1_bytes: int
+    #: coarse grouping for the run report (flux / update / fillpatch /
+    #: interp / averagedown / tagging / reduction)
+    kernel_class: str = "flux"
 
 
 class DeviceArray:
@@ -142,6 +145,7 @@ class GpuDevice:
         dram_bytes_per_point: float,
         l2_amplification: float = 1.6,
         l1_amplification: float = 4.0,
+        kernel_class: str = "flux",
     ):
         """Run ``fn`` as one recorded kernel launch (ParallelFor semantics).
 
@@ -150,6 +154,9 @@ class GpuDevice:
         at DRAM (each cell is re-read by every stencil that covers it; the
         caches absorb most but not all of the reuse).
         """
+        # the timed window covers only fn(); record construction and
+        # listener notification happen after `elapsed` is taken so
+        # observability overhead never inflates charged kernel wall time
         t0 = time.perf_counter()
         result = fn()
         elapsed = time.perf_counter() - t0
@@ -161,23 +168,27 @@ class GpuDevice:
             dram_bytes=dram,
             l2_bytes=int(dram * l2_amplification),
             l1_bytes=int(dram * l1_amplification),
+            kernel_class=kernel_class,
         )
         self.launches.append(rec)
         self._notify_launch(rec, elapsed)
         return result
 
-    def reduce(self, name: str, values: np.ndarray, op: str = "min") -> float:
+    def reduce(self, name: str, values: np.ndarray, op: str = "min",
+               kernel_class: str = "reduction") -> float:
         """amrex::ReduceData-style device reduction (used by ComputeDt)."""
         ops = {"min": np.min, "max": np.max, "sum": np.sum}
         if op not in ops:
             raise ValueError(f"unknown reduction op {op!r}")
         n = int(np.asarray(values).size)
+        # listeners fire outside the timed window (see launch())
         t0 = time.perf_counter()
         result = float(ops[op](values))
         elapsed = time.perf_counter() - t0
         rec = LaunchRecord(
             name=name, npoints=n, flops=n,
             dram_bytes=n * 8, l2_bytes=n * 8, l1_bytes=n * 8,
+            kernel_class=kernel_class,
         )
         self.launches.append(rec)
         self._notify_launch(rec, elapsed)

@@ -18,8 +18,14 @@ from repro.numerics.fluxes import wave_speed
 from repro.numerics.state import StateLayout
 
 
-def local_max_rate(layout: StateLayout, eos, u: np.ndarray, metrics) -> float:
-    """max over this patch's cells of sum_d (|Uhat_d| + a |m_d|)/J."""
+def local_max_rate(layout: StateLayout, eos, u: np.ndarray, metrics,
+                   backend=None, device=None, rank: int = 0) -> float:
+    """max over this patch's cells of sum_d (|Uhat_d| + a |m_d|)/J.
+
+    The final max is an execution-backend ``ReduceData``: a NumPy
+    reduction on the host target, a recorded ``ComputeDt`` device
+    reduction on the device target — bitwise identical either way.
+    """
     rho, vel, p = eos.primitives(layout, u)
     a = eos.sound_speed(layout, u)
     J = metrics.jacobian()
@@ -27,7 +33,15 @@ def local_max_rate(layout: StateLayout, eos, u: np.ndarray, metrics) -> float:
     for d in range(layout.dim):
         w = wave_speed(vel, a, metrics.m(d), J)
         total = w if total is None else total + w
-    return float(total.max())
+    if backend is None:
+        # imported lazily: repro.backend must stay importable from the
+        # repro.kernels package-import chain without a cycle
+        from repro.backend import current_backend
+
+        backend = current_backend()
+    return backend.reduce_data("ComputeDt", total, "max",
+                               kernel_class="reduction", rank=rank,
+                               device=device)
 
 
 def compute_dt(

@@ -119,4 +119,5 @@ class DeviceMetricsAdapter:
             dur = wall_seconds * 1e6
             self.tracer.complete(rec.name, self.tracer.now_us() - dur, dur,
                                  self.rank, self.stream, cat="kernel",
-                                 args={"points": rec.npoints})
+                                 args={"points": rec.npoints,
+                                       "class": rec.kernel_class})

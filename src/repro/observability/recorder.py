@@ -53,8 +53,11 @@ class RunRecorder:
             self.metrics, sim.comm.ranks_per_node
         )
         sim.comm.ledger.add_listener(self.ledger_adapter)
-        if sim.devices is not None:
-            for r, dev in enumerate(sim.devices):
+        # CPU versions forced onto the device backend target keep their
+        # accounting devices in _backend_devices (sim.devices stays None)
+        devices = sim.devices or getattr(sim, "_backend_devices", None)
+        if devices is not None:
+            for r, dev in enumerate(devices):
                 dev.add_listener(
                     DeviceMetricsAdapter(self.metrics, rank=r,
                                          tracer=self.tracer)
@@ -82,15 +85,30 @@ class RunRecorder:
         g("regrids").set(getattr(sim, "regrid_count", 0))
         tag_counts = getattr(sim, "last_tag_counts", {})
         g("tagged_cells").set(sum(tag_counts.values()))
-        if sim.devices is not None:
+        devices = sim.devices or getattr(sim, "_backend_devices", None)
+        if devices is not None:
             g("device.high_water_bytes.max").set(
-                max(d.high_water for d in sim.devices)
+                max(d.high_water for d in devices)
             )
+        # execution-backend accounting: cumulative per-kernel-class launch
+        # counters (driver-recorded plus counters merged from pool workers)
+        backend = getattr(getattr(sim, "kernels", None), "exec_backend", None)
+        if backend is not None:
+            totals = backend.class_totals()
+            for cls, tot in totals.items():
+                for field, value in tot.items():
+                    g(f"device.class.{cls}.{field}").set(value)
+            if totals:
+                g("device.worker_launches").set(backend.worker_launches)
         engine = getattr(sim, "engine", None)
         if engine is not None and engine.last_step_report is not None:
             rep = engine.last_step_report
             for name, value in rep.as_dict().items():
                 g(f"runtime.{name}").set(value)
+        if engine is not None and engine.last_step_worker_counters:
+            g("runtime.worker_launches").set(sum(
+                int(d.get("launches", 0))
+                for d in engine.last_step_worker_counters.values()))
         guard = getattr(sim, "guard", None)
         if guard is not None:
             # the guard indexes interventions by the step that produced

@@ -10,6 +10,9 @@ prints:
 - the runtime Overlap section (per-step posted vs finished comm time,
   measured comm/compute overlap, worker idle %, task counts by kind);
 - a rank-to-rank communication matrix from the recorded ledger traffic;
+- a device section (execution-backend launch accounting by kernel class,
+  top kernels by modeled charged time) when the run used the device
+  target;
 - roofline points (arithmetic intensity per memory level, modeled
   achieved flops) from the per-kernel flop/byte counters (Fig. 4's axis);
 - the per-timestep metrics trajectory (dt, active cells, ledger bytes).
@@ -149,6 +152,44 @@ def kernel_totals(records: Sequence[dict]) -> Dict[str, Dict[str, float]]:
     return dict(out)
 
 
+def device_class_totals(records: Sequence[dict]) -> Dict[str, Dict[str, float]]:
+    """Final cumulative per-kernel-class launch counters
+    (the ``device.class.*`` gauges): {class: {field: value}}."""
+    if not records:
+        return {}
+    final = records[-1]["metrics"]
+    out: Dict[str, Dict[str, float]] = defaultdict(dict)
+    for key, value in final.items():
+        if key.startswith("device.class."):
+            _, _, cls, field = key.split(".", 3)
+            out[cls][field] = value
+    return dict(out)
+
+
+def charged_kernel_times(kernels: Dict[str, Dict[str, float]]) -> List[tuple]:
+    """(kernel, launches, points, charged seconds) by descending time.
+
+    Charged time prices every launch with the V100 performance model and
+    the kernel's cost budget — the simulated-Summit analogue of a
+    per-kernel GPU time profile.
+    """
+    from repro.kernels.counts import budget_for_kernel
+    from repro.machine.gpu import V100Model
+
+    model = V100Model()
+    rows = []
+    for name, k in kernels.items():
+        launches = int(k.get("launches", 0))
+        points = k.get("points", 0.0)
+        if not launches:
+            continue
+        seconds = launches * model.kernel_time(
+            budget_for_kernel(name), int(points / launches))
+        rows.append((name, launches, points, seconds))
+    rows.sort(key=lambda r: -r[3])
+    return rows
+
+
 def ledger_totals(records: Sequence[dict]) -> Dict[str, Dict[str, float]]:
     """Final cumulative per-kind ledger counters."""
     if not records:
@@ -164,7 +205,7 @@ def ledger_totals(records: Sequence[dict]) -> Dict[str, Dict[str, float]]:
 
 def roofline_rows(kernels: Dict[str, Dict[str, float]]) -> List[tuple]:
     """(kernel, flops, AI@DRAM/L2/L1, modeled GF/s, %peak) per kernel."""
-    from repro.kernels.counts import BUDGETS
+    from repro.kernels.counts import budget_for_kernel
     from repro.machine.gpu import V100Model
 
     model = V100Model()
@@ -180,7 +221,7 @@ def roofline_rows(kernels: Dict[str, Dict[str, float]]) -> List[tuple]:
             "L2": flops / k.get("l2_bytes", dram),
             "L1": flops / k.get("l1_bytes", dram),
         }
-        budget = BUDGETS.get("WENO" if name.startswith("WENO") else name)
+        budget = budget_for_kernel(name)
         achieved = model.achieved_flops(budget) if budget is not None else None
         frac = achieved / model.peak_dp_flops if achieved else None
         rows.append((name, flops, ai, achieved, frac))
@@ -327,8 +368,37 @@ def format_report(events: Sequence[dict], other: dict,
         lines.append(f"  total {_fmt_bytes(total_bytes)} "
                      f"({_fmt_bytes(off_diag)} between distinct ranks)")
 
-    # roofline points
+    # execution-backend launch accounting (device target)
     kernels = kernel_totals(records)
+    classes = device_class_totals(records)
+    if classes:
+        lines.append("")
+        lines.append("-- device (execution-backend launch accounting) --")
+        lines.append(f"{'class':<12s} {'launches':>9s} {'points':>12s} "
+                     f"{'flops':>12s} {'DRAM bytes':>11s}")
+        for cls in sorted(classes):
+            c = classes[cls]
+            lines.append(
+                f"{cls:<12s} {int(c.get('launches', 0)):>9d} "
+                f"{c.get('points', 0):>12.4g} {c.get('flops', 0):>12.4g} "
+                f"{_fmt_bytes(c.get('dram_bytes', 0)):>11s}")
+        total_launches = sum(int(c.get("launches", 0))
+                             for c in classes.values())
+        worker = 0
+        if records:
+            worker = int(records[-1]["metrics"].get(
+                "device.worker_launches", 0))
+        lines.append(f"  total launches = {total_launches}"
+                     + (f" ({worker} from pool workers)" if worker else ""))
+        charged = charged_kernel_times(kernels)
+        if charged:
+            lines.append("  top kernels by charged time (V100 model):")
+            for name, launches, points, seconds in charged[:5]:
+                lines.append(
+                    f"    {name:<16s} {seconds * 1e3:>9.3f} ms  "
+                    f"({launches} launches, {points:.4g} pts)")
+
+    # roofline points
     rows = roofline_rows(kernels)
     if rows:
         lines.append("")

@@ -12,15 +12,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
-from repro.kernels.counts import BUDGETS, KernelBudget
+from repro.kernels.counts import KernelBudget, budget_for_kernel
 from repro.kernels.device import GpuDevice
 from repro.machine.gpu import V100Model
 
 
 def _budget_for(kernel: str) -> KernelBudget:
-    if kernel.startswith("WENO"):
-        return BUDGETS["WENO"]
-    return BUDGETS.get(kernel, BUDGETS["Update"])
+    # shared launch-name -> budget resolver (exact, then prefix families)
+    return budget_for_kernel(kernel)
 
 
 @dataclass(frozen=True)

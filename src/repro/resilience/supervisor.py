@@ -160,6 +160,9 @@ class SupervisedPoolExecutor(PoolExecutor):
         or raises — never hangs)."""
         t0 = time.perf_counter()
         try:
+            # the returned counter delta is deliberately discarded: inline
+            # launches hit the driver's execution backend directly, so
+            # merging them again would double-count
             _run_payload(entry.task.payload)
         except Exception as exc:
             self._inflight.pop(entry.task.tid, None)
@@ -186,7 +189,8 @@ class SupervisedPoolExecutor(PoolExecutor):
                 f"task {entry.task.name!r} failed after {entry.attempt} "
                 f"attempt(s): {exc}") from exc
         del self._inflight[tid]
-        pid, dur = result
+        pid, dur, delta = result
+        self._merge_delta(delta)
         worker = self._worker_ids.setdefault(pid, len(self._worker_ids) + 1)
         entry.on_done(entry.task, worker, dur)
         return True

@@ -41,6 +41,9 @@ class RuntimeEngine:
         self.last_step_report: Optional[ScheduleReport] = None
         #: merged report of the whole run
         self.total_report = ScheduleReport()
+        #: per-kernel-class launch counters merged from pool workers during
+        #: the most recent completed step ({} on inline executors)
+        self.last_step_worker_counters: dict = {}
 
     @staticmethod
     def _supervision(sim) -> Optional[dict]:
@@ -109,10 +112,20 @@ class RuntimeEngine:
             self.last_step_report = self._acc
             self.total_report.merge(self._acc)
             self._acc = None
+        # fold the step's worker-side launch counters into the driver's
+        # execution backend so pool runs report their device activity
+        counters = self.executor.drain_worker_counters()
+        self.last_step_worker_counters = counters
+        if counters:
+            backend = getattr(self.sim.kernels, "exec_backend", None)
+            if backend is not None:
+                backend.merge_worker_counters(counters)
 
     def abort_step(self) -> None:
         """Discard the partially accumulated step (watchdog rollback)."""
         self._acc = None
+        # a rolled-back step's worker launches are discarded with it
+        self.executor.drain_worker_counters()
 
     def close(self) -> None:
         if self._closed:

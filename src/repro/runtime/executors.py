@@ -47,14 +47,21 @@ def set_worker_context(kernels, case) -> None:
     _WORKER_CTX = (kernels, case)
 
 
-def _run_payload(spec: dict) -> Tuple[int, float]:
-    """Execute one offloaded task spec; returns (worker pid, seconds).
+def _run_payload(spec: dict) -> Tuple[int, float, dict]:
+    """Execute one offloaded task spec; returns (worker pid, seconds,
+    launch-counter delta).
 
     Runs in a worker process (or inline as a fallback).  Data arrays are
-    attached from shared memory and mutated in place; nothing but the
-    timing travels back.
+    attached from shared memory and mutated in place; only the timing and
+    the per-kernel-class launch counters travel back — launch *records*
+    stay local to the worker's forked device copies, but their counts,
+    flops and bytes are merged into the driver's accounting so pool runs
+    report the device activity their workers actually generated.
     """
     t0 = time.perf_counter()
+    backend = (getattr(_WORKER_CTX[0], "exec_backend", None)
+               if _WORKER_CTX is not None else None)
+    before = backend.counters_snapshot() if backend is not None else {}
     fault = spec.get("_fault")
     if fault is not None:
         # planted by the fault-injection harness (repro.resilience.faults);
@@ -83,7 +90,12 @@ def _run_payload(spec: dict) -> Tuple[int, float]:
         _rhs_update(spec)
     else:  # pragma: no cover - future ops
         raise ValueError(f"unknown payload op {op!r}")
-    return os.getpid(), time.perf_counter() - t0
+    delta = {}
+    if backend is not None:
+        from repro.backend import counters_delta
+
+        delta = counters_delta(backend.counters_snapshot(), before)
+    return os.getpid(), time.perf_counter() - t0, delta
 
 
 def _rhs_update(spec: dict) -> None:
@@ -123,6 +135,14 @@ class BaseExecutor:
 
     def cancel_pending(self) -> None:
         """Abandon in-flight work (e.g. when a step is rolled back)."""
+
+    def drain_worker_counters(self) -> dict:
+        """Return-and-clear launch counters accumulated from workers.
+
+        Inline executors do no remote work, so there is nothing to merge:
+        every launch already hit the driver's execution backend directly.
+        """
+        return {}
 
     def shutdown(self) -> None:
         pass
@@ -173,6 +193,9 @@ class PoolExecutor(BaseExecutor):
         self._done: "queue.Queue" = queue.Queue()
         self._pending = 0
         self._worker_ids = {}  # pid -> stable small index
+        #: launch counters reported by completed worker tasks, by kernel
+        #: class, awaiting a drain at end of step
+        self._counter_acc: dict = {}
 
     def _ensure_pool(self):
         if self._pool is None:
@@ -215,9 +238,21 @@ class PoolExecutor(BaseExecutor):
         self._pending -= 1
         if exc is not None:
             raise RuntimeError(f"pool task {task.name!r} failed: {exc}") from exc
-        pid, dur = result
+        pid, dur, delta = result
+        self._merge_delta(delta)
         worker = self._worker_ids.setdefault(pid, len(self._worker_ids) + 1)
         on_done(task, worker, dur)
+
+    def _merge_delta(self, delta: dict) -> None:
+        for cls, d in delta.items():
+            acc = self._counter_acc.setdefault(
+                cls, {k: 0 for k in d})
+            for field, value in d.items():
+                acc[field] = acc.get(field, 0) + value
+
+    def drain_worker_counters(self) -> dict:
+        acc, self._counter_acc = self._counter_acc, {}
+        return acc
 
     def cancel_pending(self) -> None:
         """Terminate workers and drop in-flight tasks and stale results.

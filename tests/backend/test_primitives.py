@@ -1,0 +1,213 @@
+"""Execution-backend primitives: host/device parity, counters, context."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.backend import (DeviceBackend, HostBackend, LaunchContext,
+                           counters_delta, current_backend, make_exec_backend,
+                           parallel_for, reduce_data, set_backend, use_backend)
+from repro.kernels.counts import (BUDGETS, FILLBOUNDARY_BUDGET, INTERP_BUDGET,
+                                  UPDATE_BUDGET, WENO_BUDGET,
+                                  budget_for_kernel)
+from repro.kernels.device import GpuDevice
+
+
+class TestHostBackend:
+    def test_parallel_for_runs_body(self):
+        host = HostBackend()
+        out = host.parallel_for("K", lambda: np.arange(4.0) * 2, 4)
+        np.testing.assert_array_equal(out, [0.0, 2.0, 4.0, 6.0])
+
+    def test_reduce_ops_bitwise(self):
+        host = HostBackend()
+        rng = np.random.default_rng(7)
+        v = rng.standard_normal(257)
+        assert host.reduce_data("R", v, "max") == float(np.max(v))
+        assert host.reduce_data("R", v, "min") == float(np.min(v))
+        assert host.reduce_data("R", v, "sum") == float(np.sum(v))
+
+    def test_unknown_op_raises(self):
+        with pytest.raises(ValueError, match="unknown reduction op"):
+            HostBackend().reduce_data("R", np.ones(3), "prod")
+
+    def test_no_accounting(self):
+        host = HostBackend()
+        host.parallel_for("K", lambda: None, 10)
+        assert host.counters == {}
+        assert host.class_totals() == {}
+        assert host.worker_launches == 0
+
+
+class TestDeviceBackend:
+    def test_parallel_for_matches_host_bitwise(self):
+        rng = np.random.default_rng(3)
+        a = rng.standard_normal((5, 8))
+        body = lambda: np.sin(a) * np.exp(a)  # noqa: E731
+        host_out = HostBackend().parallel_for("K", body, a.size)
+        dev_out = DeviceBackend([GpuDevice()]).parallel_for("K", body, a.size)
+        np.testing.assert_array_equal(host_out, dev_out)
+
+    def test_reduce_matches_host_bitwise(self):
+        rng = np.random.default_rng(4)
+        v = rng.standard_normal(1000)
+        for op in ("min", "max", "sum"):
+            h = HostBackend().reduce_data("R", v, op)
+            d = DeviceBackend([GpuDevice()]).reduce_data("R", v, op)
+            assert h == d
+
+    def test_launch_recorded_with_class_and_budget(self):
+        dev = GpuDevice()
+        be = DeviceBackend([dev])
+        be.parallel_for("WENOx", lambda: None, 100, kernel_class="flux")
+        rec = dev.launches[-1]
+        assert rec.name == "WENOx"
+        assert rec.kernel_class == "flux"
+        assert rec.npoints == 100
+        assert rec.flops == int(100 * WENO_BUDGET.flops_per_point)
+
+    def test_counters_accumulate_by_class(self):
+        be = DeviceBackend([GpuDevice()])
+        be.parallel_for("FB_pack", lambda: None, 10, kernel_class="fillpatch")
+        be.parallel_for("FB_unpack", lambda: None, 10, kernel_class="fillpatch")
+        be.reduce_data("ComputeDt", np.ones(5), "max")
+        snap = be.counters_snapshot()
+        assert snap["fillpatch"]["launches"] == 2
+        assert snap["fillpatch"]["points"] == 20
+        assert snap["reduction"]["launches"] == 1
+
+    def test_rank_selects_device(self):
+        devs = [GpuDevice(name="d0"), GpuDevice(name="d1")]
+        be = DeviceBackend(devs)
+        be.parallel_for("K", lambda: None, 1, rank=1)
+        be.parallel_for("K", lambda: None, 1, rank=3)
+        assert len(devs[0].launches) == 0
+        assert len(devs[1].launches) == 2
+
+    def test_worker_counter_merge_kept_separate(self):
+        be = DeviceBackend([GpuDevice()])
+        be.parallel_for("Update", lambda: None, 50, kernel_class="update")
+        be.merge_worker_counters(
+            {"update": {"launches": 3, "points": 150, "flops": 10,
+                        "dram_bytes": 20}})
+        # driver-local counters untouched; totals fold both sources
+        assert be.counters["update"].launches == 1
+        assert be.worker_launches == 3
+        assert be.class_totals()["update"]["launches"] == 4
+        assert be.class_totals()["update"]["points"] == 200
+
+    def test_counters_delta(self):
+        be = DeviceBackend([GpuDevice()])
+        be.parallel_for("Update", lambda: None, 5, kernel_class="update")
+        before = be.counters_snapshot()
+        be.parallel_for("Update", lambda: None, 7, kernel_class="update")
+        be.parallel_for("WENOx", lambda: None, 3, kernel_class="flux")
+        delta = counters_delta(be.counters_snapshot(), before)
+        assert delta["update"]["launches"] == 1
+        assert delta["update"]["points"] == 7
+        assert delta["flux"]["launches"] == 1
+        # unchanged classes are omitted entirely
+        be2 = DeviceBackend([GpuDevice()])
+        be2.parallel_for("Update", lambda: None, 5, kernel_class="update")
+        snap = be2.counters_snapshot()
+        assert counters_delta(snap, snap) == {}
+
+
+class TestBudgetResolution:
+    def test_exact_then_prefix_then_fallback(self):
+        assert budget_for_kernel("WENOx") is BUDGETS["WENO"]
+        assert budget_for_kernel("WENOz") is BUDGETS["WENO"]
+        assert budget_for_kernel("Viscous") is BUDGETS["Viscous"]
+        assert budget_for_kernel("FB_pack") is FILLBOUNDARY_BUDGET
+        assert budget_for_kernel("Interp_trilinear") is INTERP_BUDGET
+        assert budget_for_kernel("SomethingNew") is UPDATE_BUDGET
+
+    def test_copy_budgets_have_nonzero_flops(self):
+        # zero flops/pt would make the roofline arithmetic intensity
+        # degenerate; copies are priced with a small nonzero budget
+        for name in ("FB_pack", "PC_copy", "BC_fill"):
+            assert budget_for_kernel(name).flops_per_point > 0
+
+
+class TestCurrentBackendContext:
+    def test_default_is_host(self):
+        assert current_backend().target == "host"
+
+    def test_use_backend_restores_on_exit(self):
+        be = DeviceBackend([GpuDevice()])
+        with use_backend(be):
+            assert current_backend() is be
+        assert current_backend().target == "host"
+
+    def test_use_backend_nests(self):
+        outer = DeviceBackend([GpuDevice()])
+        inner = HostBackend()
+        with use_backend(outer):
+            with use_backend(inner):
+                assert current_backend() is inner
+            assert current_backend() is outer
+
+    def test_restores_on_exception(self):
+        be = DeviceBackend([GpuDevice()])
+        with pytest.raises(RuntimeError):
+            with use_backend(be):
+                raise RuntimeError("boom")
+        assert current_backend().target == "host"
+
+    def test_set_backend_none_restores_default(self):
+        prev = set_backend(DeviceBackend([GpuDevice()]))
+        assert prev.target == "host"
+        set_backend(None)
+        assert current_backend().target == "host"
+
+    def test_free_functions_dispatch_to_current(self):
+        dev = GpuDevice()
+        with use_backend(DeviceBackend([dev])):
+            out = parallel_for("K", lambda: 42, 7, kernel_class="update")
+            r = reduce_data("R", np.array([1.0, 3.0]), "max")
+        assert out == 42
+        assert r == 3.0
+        assert [rec.name for rec in dev.launches] == ["K", "R"]
+
+    def test_launch_context_alias(self):
+        assert LaunchContext is use_backend
+
+
+class TestMakeExecBackend:
+    def test_targets(self):
+        assert make_exec_backend("host").target == "host"
+        dev = GpuDevice()
+        be = make_exec_backend("device", [dev])
+        assert be.target == "device"
+        assert be.devices == [dev]
+
+    def test_unknown_target_raises(self):
+        with pytest.raises(ValueError, match="unknown backend target"):
+            make_exec_backend("cuda")
+
+
+class SlowListener:
+    """Deliberately expensive on_launch observer (satellite-6 regression)."""
+
+    def __init__(self, delay):
+        self.delay = delay
+        self.walls = []
+
+    def on_launch(self, device, rec, wall_seconds):
+        self.walls.append(wall_seconds)
+        time.sleep(self.delay)
+
+
+class TestListenerOutsideTimedWindow:
+    def test_slow_listener_does_not_inflate_wall_time(self):
+        """_notify_launch runs after the perf_counter window: a 50 ms
+        listener must not appear in the charged kernel wall time."""
+        dev = GpuDevice()
+        listener = SlowListener(0.05)
+        dev.add_listener(listener)
+        for _ in range(3):
+            dev.launch("K", lambda: None, 10, 1.0, 8.0)
+        dev.reduce("R", np.ones(4), op="sum")
+        assert len(listener.walls) == 4
+        assert all(w < 0.04 for w in listener.walls)

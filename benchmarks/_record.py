@@ -5,20 +5,41 @@ so the perf trajectory accumulates across runs in one flat file at the
 repo root (override the path with ``REPRO_BENCH_OUT``).  Each row is::
 
     {"bench": "fig6_regions", "config": "nodes=100", "value": 1.23,
-     "units": "s", ...extra}
+     "units": "s", "git_rev": "8b40ffc", "recorded_at": "...Z", ...extra}
 
 Rows are appended (never rewritten), so successive benchmark runs form a
-time series; downstream tooling can group by (bench, config).
+time series; downstream tooling can group by (bench, config).  Every row
+is stamped with the repo revision it measured (``git_rev``) and an
+ISO-8601 UTC timestamp (``recorded_at``) so the trajectory stays
+interpretable after the fact.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import subprocess
+from datetime import datetime, timezone
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
 
 _ROOT = Path(__file__).resolve().parent.parent
+
+_GIT_REV: Optional[str] = None
+
+
+def git_rev() -> str:
+    """The repo's short HEAD revision (cached; "unknown" outside git)."""
+    global _GIT_REV
+    if _GIT_REV is None:
+        try:
+            _GIT_REV = subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"], cwd=_ROOT,
+                capture_output=True, text=True, timeout=10,
+            ).stdout.strip() or "unknown"
+        except (OSError, subprocess.SubprocessError):
+            _GIT_REV = "unknown"
+    return _GIT_REV
 
 
 def results_path() -> Path:
@@ -40,7 +61,10 @@ def record(bench: str, config: str, value: Union[int, float], units: str,
            **extra) -> dict:
     """Append one result row; returns the row written."""
     row = {"bench": bench, "config": config, "value": float(value),
-           "units": units}
+           "units": units,
+           "git_rev": git_rev(),
+           "recorded_at": datetime.now(timezone.utc).isoformat(
+               timespec="seconds").replace("+00:00", "Z")}
     for k, v in extra.items():
         row[k] = v
     path = results_path()

@@ -75,8 +75,11 @@ def test_runtime_overlap_serial_vs_pool(benchmark):
     print(f"  pool/serial speedup: {speedup:.2f}x "
           f"(hardware-limited on {os.cpu_count()} core(s))")
 
+    # both rows carry the same schema (workers/speedup present on each)
+    # so downstream tooling can group and compare without special-casing
     record("runtime_overlap", "executor=serial", s_wall, "s",
-           overlap_s=s_rep.overlap_s, overlap_frac=s_rep.overlap_frac)
+           overlap_s=s_rep.overlap_s, overlap_frac=s_rep.overlap_frac,
+           workers=1, speedup=1.0)
     record("runtime_overlap", "executor=pool", p_wall, "s",
            overlap_s=p_rep.overlap_s, overlap_frac=p_rep.overlap_frac,
            workers=p_rep.nworkers, speedup=speedup)

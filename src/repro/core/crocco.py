@@ -98,6 +98,10 @@ class CroccoConfig:
     workers: Optional[int] = field(
         default_factory=lambda: int(os.environ["REPRO_WORKERS"])
         if os.environ.get("REPRO_WORKERS") else None)
+    #: collect task-lifecycle spans + overhead attribution (perf.* gauges,
+    #: the report's Bottleneck section); measured cost is ~per-task dict
+    #: bookkeeping, itself reported as perf.overhead_s
+    perfscope: bool = True
     #: execution-backend target: "host" (plain NumPy), "device" (recorded
     #: launches on the simulated GPUs), or "auto" (device on the GPU
     #: versions, host otherwise); deck key ``backend.target``, overridden
@@ -244,7 +248,8 @@ class Crocco(AmrCore):
         from repro.runtime.engine import RuntimeEngine
 
         self.engine = RuntimeEngine(self, self.config.executor,
-                                    self.config.workers)
+                                    self.config.workers,
+                                    perfscope=self.config.perfscope)
 
         self.watchdog = None
         if self.config.watchdog:

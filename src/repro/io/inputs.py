@@ -109,6 +109,7 @@ class InputDeck:
         workers = self.get_int("runtime.workers")
         if workers:
             cfg.workers = workers
+        cfg.perfscope = self.get_bool("runtime.perfscope", cfg.perfscope)
         target = self.get_str("backend.target")
         if target:
             cfg.backend_target = target

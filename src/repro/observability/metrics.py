@@ -13,6 +13,7 @@ histograms flatten to ``name.count/.sum/.min/.max/.mean`` in each sample.
 from __future__ import annotations
 
 import json
+import sys
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
@@ -138,17 +139,37 @@ class MetricsRegistry:
         return str(p)
 
     @staticmethod
-    def read_jsonl(path) -> List[dict]:
-        """Load a metrics JSONL file; validates the record schema."""
+    def read_jsonl(path, tolerant: bool = False) -> List[dict]:
+        """Load a metrics JSONL file; validates the record schema.
+
+        With ``tolerant=True`` (used by the report CLI) malformed lines —
+        typically a record truncated mid-write when a run died — and
+        records missing required sections are skipped with a warning on
+        stderr instead of aborting the whole load; every intact record
+        still renders.
+        """
         records: List[dict] = []
         for lineno, line in enumerate(Path(path).read_text().splitlines(), 1):
             if not line.strip():
                 continue
-            rec = json.loads(line)
-            for field in ("step", "time", "metrics"):
-                if field not in rec:
-                    raise ValueError(
-                        f"{path}:{lineno}: record missing {field!r}"
-                    )
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as exc:
+                if tolerant:
+                    print(f"warning: {path}:{lineno}: skipping malformed "
+                          f"record ({exc})", file=sys.stderr)
+                    continue
+                raise ValueError(
+                    f"{path}:{lineno}: malformed JSON record: {exc}"
+                ) from exc
+            missing = [f for f in ("step", "time", "metrics") if f not in rec]
+            if missing:
+                if tolerant:
+                    print(f"warning: {path}:{lineno}: skipping record "
+                          f"missing {missing[0]!r}", file=sys.stderr)
+                    continue
+                raise ValueError(
+                    f"{path}:{lineno}: record missing {missing[0]!r}"
+                )
             records.append(rec)
         return records

@@ -109,6 +109,12 @@ class RunRecorder:
             g("runtime.worker_launches").set(sum(
                 int(d.get("launches", 0))
                 for d in engine.last_step_worker_counters.values()))
+        # lifecycle attribution: cumulative run totals (like device.class.*)
+        # so the report only needs the final record
+        scope = getattr(engine, "perfscope", None) if engine else None
+        if scope is not None and scope.total is not None:
+            for name, value in scope.total.as_gauges().items():
+                g(f"perf.{name}").set(value)
         guard = getattr(sim, "guard", None)
         if guard is not None:
             # the guard indexes interventions by the step that produced

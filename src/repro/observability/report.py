@@ -129,6 +129,16 @@ def overlap_rows(records: Sequence[dict]) -> List[dict]:
     return rows
 
 
+def perf_totals(records: Sequence[dict]) -> Dict[str, float]:
+    """Final cumulative ``perf.*`` lifecycle-attribution gauges
+    (empty if the run had no perfscope)."""
+    if not records:
+        return {}
+    final = records[-1]["metrics"]
+    return {key.split("perf.", 1)[1]: value
+            for key, value in final.items() if key.startswith("perf.")}
+
+
 def resilience_totals(records: Sequence[dict]) -> Dict[str, float]:
     """Final cumulative ``resilience.*`` counters (empty if never sampled)."""
     if not records:
@@ -295,6 +305,83 @@ def format_report(events: Sequence[dict], other: dict,
         if kinds:
             lines.append("  tasks/step: " + ", ".join(
                 f"{k.replace('_', '-')}={kinds[k]}" for k in sorted(kinds)))
+
+    # bottleneck: where the capacity of every lane actually went
+    perf = perf_totals(records)
+    if perf.get("capacity_s"):
+        lanes = int(perf.get("lanes", 1))
+        cap = perf["capacity_s"]
+        lines.append("")
+        lines.append(f"-- bottleneck (task lifecycle attribution, "
+                     f"{lanes} lane(s)) --")
+        lines.append(
+            f"capacity {cap:.4f} worker-s over {int(perf.get('stages', 0))} "
+            f"stage graphs (makespan {perf.get('makespan_s', 0.0):.4f}s, "
+            f"coverage {perf.get('coverage', 0.0):.1%})")
+        lines.append(f"{'bucket':<12s} {'seconds':>10s} {'%capacity':>10s}")
+        for bucket in ("serialize", "queue_wait", "execute", "result",
+                       "merge", "idle"):
+            v = perf.get(f"{bucket}_s", 0.0)
+            lines.append(f"{bucket.replace('_', '-'):<12s} {v:>10.4f} "
+                         f"{v / cap:>10.1%}")
+        lines.append(
+            f"critical path {perf.get('critical_path_s', 0.0):.4f}s over "
+            f"{int(perf.get('tasks', 0))} tasks "
+            f"({int(perf.get('offloaded', 0))} offloaded); "
+            f"realized parallelism "
+            f"{perf.get('realized_parallelism', 0.0):.2f}x")
+        lane_idle = sorted((int(k.split(".")[1]), v) for k, v in perf.items()
+                           if k.startswith("lane.") and k.endswith(".idle_s"))
+        if lane_idle:
+            lines.append("lane idle: " + "  ".join(
+                ("driver" if lane == 0 else f"w{lane}") + f"={v:.3f}s"
+                for lane, v in lane_idle))
+        classes = defaultdict(dict)
+        for key, value in perf.items():
+            if key.startswith("class."):
+                _, cls, col = key.split(".", 2)
+                classes[cls][col] = value
+        if classes:
+            lines.append("per-class lifecycle (seconds):")
+            lines.append(f"  {'class':<16s} {'count':>6s} {'serial':>8s} "
+                         f"{'wait':>8s} {'execute':>8s} {'result':>8s} "
+                         f"{'merge':>8s}")
+            ordered_cls = sorted(
+                classes, key=lambda c: -classes[c].get("execute_s", 0.0))
+            for cls in ordered_cls:
+                c = classes[cls]
+                lines.append(
+                    f"  {cls:<16s} {int(c.get('count', 0)):>6d} "
+                    f"{c.get('serialize_s', 0.0):>8.4f} "
+                    f"{c.get('queue_wait_s', 0.0):>8.4f} "
+                    f"{c.get('execute_s', 0.0):>8.4f} "
+                    f"{c.get('result_s', 0.0):>8.4f} "
+                    f"{c.get('merge_s', 0.0):>8.4f}")
+        cp = sorted(((k.split("cp.", 1)[1], v) for k, v in perf.items()
+                     if k.startswith("cp.")), key=lambda kv: -kv[1])
+        if cp:
+            lines.append("top critical-path tasks:")
+            for name, v in cp:
+                lines.append(f"  {name:<20s} {v:.4f}s")
+        boxes = defaultdict(list)
+        for key, value in perf.items():
+            if key.startswith("box_cost."):
+                _, lev, box = key.split(".", 2)
+                boxes[lev].append((int(box[1:]), value))
+        if boxes:
+            lines.append("per-box execute cost (load-balance input):")
+            for lev in sorted(boxes):
+                row = " ".join(f"b{b}={v:.4f}s"
+                               for b, v in sorted(boxes[lev]))
+                lines.append(f"  {lev}: {row}")
+        if perf.get("pickle_bytes"):
+            lines.append(
+                f"payload traffic: {_fmt_bytes(perf['pickle_bytes'])} "
+                f"pickled (deserialize {perf.get('deserialize_s', 0.0):.4f}s "
+                f"in workers)")
+        lines.append(
+            f"attribution overhead {perf.get('overhead_s', 0.0):.4f}s, "
+            f"reconcile errors {int(perf.get('reconcile_errors', 0))}")
 
     # resilience: injected faults vs recovery actions, and solver health
     res = resilience_totals(records)
@@ -464,7 +551,10 @@ def load_run(run_dir: Optional[str] = None, trace: Optional[str] = None,
     other: dict = {}
     if trace is not None:
         events, other = load_chrome_trace(trace)
-    records = MetricsRegistry.read_jsonl(metrics) if metrics else []
+    # tolerant: a run that died mid-write leaves a truncated final line;
+    # report everything that is intact instead of refusing to load
+    records = (MetricsRegistry.read_jsonl(metrics, tolerant=True)
+               if metrics else [])
     return events, other, records
 
 
@@ -487,12 +577,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except (FileNotFoundError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except Exception as exc:  # malformed trace JSON etc. — degrade cleanly
+        print(f"error: could not load run artifacts: {exc}", file=sys.stderr)
+        return 2
+    if not events and not records:
+        print("error: run artifacts held no usable events or metrics "
+              "records (empty or fully truncated files?)", file=sys.stderr)
+        return 2
     try:
         print(format_report(events, other, records, top=args.top))
     except BrokenPipeError:  # e.g. piped into head
         import os
 
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    except Exception as exc:  # never traceback at the user: say what broke
+        print(f"error: could not render report: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 

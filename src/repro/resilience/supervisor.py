@@ -30,13 +30,15 @@ Every recovery action is counted in the shared
 
 from __future__ import annotations
 
+import pickle
 import queue
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
 from repro.resilience.stats import ResilienceStats
-from repro.runtime.executors import PoolExecutor, _run_payload
+from repro.runtime.executors import (PoolExecutor, _run_payload,
+                                     _run_payload_remote)
 
 
 class TaskFailedError(RuntimeError):
@@ -49,6 +51,9 @@ class _InFlight:
     on_done: Callable
     attempt: int
     deadline: float
+    #: driver-side lifecycle metering; serialize cost accumulates across
+    #: retries so the attribution charges the *total* pickling a task cost
+    lifecycle: dict = field(default_factory=dict)
 
 
 class SupervisedPoolExecutor(PoolExecutor):
@@ -152,7 +157,17 @@ class SupervisedPoolExecutor(PoolExecutor):
         def _err(exc, tid=tid, att=att):
             self._done.put((tid, att, None, exc))
 
-        pool.apply_async(_run_payload, (entry.task.payload,),
+        # pickle per attempt (the payload may have changed — e.g. a fault
+        # marker stripped); the serialize bucket charges the sum
+        t0 = time.perf_counter()
+        blob = pickle.dumps(entry.task.payload,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+        t1 = time.perf_counter()
+        lc = entry.lifecycle
+        lc["serialize_s"] = lc.get("serialize_s", 0.0) + (t1 - t0)
+        lc["pickle_bytes"] = len(blob)
+        lc["t_dispatched"] = t1
+        pool.apply_async(_run_payload_remote, (blob,),
                          callback=_cb, error_callback=_err)
 
     def _run_inline(self, entry: _InFlight) -> None:
@@ -163,14 +178,16 @@ class SupervisedPoolExecutor(PoolExecutor):
             # the returned counter delta is deliberately discarded: inline
             # launches hit the driver's execution backend directly, so
             # merging them again would double-count
-            _run_payload(entry.task.payload)
+            _pid, _dur, _delta, times = _run_payload(entry.task.payload)
         except Exception as exc:
             self._inflight.pop(entry.task.tid, None)
             raise TaskFailedError(
                 f"task {entry.task.name!r} failed inline after "
                 f"{entry.attempt - 1} pool attempt(s): {exc}") from exc
         self._inflight.pop(entry.task.tid, None)
-        entry.on_done(entry.task, 0, time.perf_counter() - t0)
+        lc = dict(entry.lifecycle)
+        lc.update(times)
+        entry.on_done(entry.task, 0, time.perf_counter() - t0, lifecycle=lc)
 
     def _handle(self, tid: int, att: int, result, exc) -> bool:
         """Process one completion record; True if a task finished."""
@@ -189,10 +206,12 @@ class SupervisedPoolExecutor(PoolExecutor):
                 f"task {entry.task.name!r} failed after {entry.attempt} "
                 f"attempt(s): {exc}") from exc
         del self._inflight[tid]
-        pid, dur, delta = result
+        pid, dur, delta, times = result
         self._merge_delta(delta)
+        lc = dict(entry.lifecycle)
+        lc.update(times)
         worker = self._worker_ids.setdefault(pid, len(self._worker_ids) + 1)
-        entry.on_done(entry.task, worker, dur)
+        entry.on_done(entry.task, worker, dur, lifecycle=lc)
         return True
 
     def _backoff_delay(self, attempt: int) -> float:

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.observability.perfscope import PerfScope
 from repro.runtime.executors import make_executor, set_worker_context
 from repro.runtime.rk3graph import build_stage_graph
 from repro.runtime.scheduler import (RUNTIME_STREAM_BASE, ScheduleReport,
@@ -25,7 +26,8 @@ class RuntimeEngine:
     """Task-graph execution of the CRoCCo advance for one simulation."""
 
     def __init__(self, sim, executor: str = "serial",
-                 workers: Optional[int] = None) -> None:
+                 workers: Optional[int] = None,
+                 perfscope: bool = True) -> None:
         self.sim = sim
         #: the simulation's fault injector, if a fault plan is active
         self.faults = getattr(sim, "faults", None)
@@ -34,7 +36,10 @@ class RuntimeEngine:
         self.arena = SharedArena() if self.is_pool else None
         if self.is_pool:
             set_worker_context(sim.kernels, sim.case)
-        self.scheduler = Scheduler(self.executor, profiler=sim.profiler)
+        #: task-lifecycle tracing + overhead attribution collector
+        self.perfscope = PerfScope(enabled=perfscope)
+        self.scheduler = Scheduler(self.executor, profiler=sim.profiler,
+                                   perfscope=self.perfscope)
         self._acc: Optional[ScheduleReport] = None
         self._closed = False
         #: merged report of the most recent completed step
@@ -44,6 +49,8 @@ class RuntimeEngine:
         #: per-kernel-class launch counters merged from pool workers during
         #: the most recent completed step ({} on inline executors)
         self.last_step_worker_counters: dict = {}
+        #: lifecycle attribution of the most recent completed step
+        self.last_step_perf = None  # type: Optional[object]  # StepPerf
 
     @staticmethod
     def _supervision(sim) -> Optional[dict]:
@@ -96,6 +103,7 @@ class RuntimeEngine:
     # -- step execution ---------------------------------------------------
     def begin_step(self) -> None:
         self._acc = ScheduleReport()
+        self.perfscope.begin_step()
 
     def run_stage(self, dt: float, stage: int) -> ScheduleReport:
         graph = build_stage_graph(self.sim, dt, stage, arena=self.arena)
@@ -112,6 +120,7 @@ class RuntimeEngine:
             self.last_step_report = self._acc
             self.total_report.merge(self._acc)
             self._acc = None
+        self.last_step_perf = self.perfscope.finalize_step()
         # fold the step's worker-side launch counters into the driver's
         # execution backend so pool runs report their device activity
         counters = self.executor.drain_worker_counters()
@@ -124,6 +133,7 @@ class RuntimeEngine:
     def abort_step(self) -> None:
         """Discard the partially accumulated step (watchdog rollback)."""
         self._acc = None
+        self.perfscope.abort_step()
         # a rolled-back step's worker launches are discarded with it
         self.executor.drain_worker_counters()
 

@@ -25,9 +25,10 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import pickle
 import queue
 import time
-from typing import Callable, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.runtime.shm import attach_array
 
@@ -47,9 +48,9 @@ def set_worker_context(kernels, case) -> None:
     _WORKER_CTX = (kernels, case)
 
 
-def _run_payload(spec: dict) -> Tuple[int, float, dict]:
+def _run_payload(spec: dict) -> Tuple[int, float, dict, Dict[str, float]]:
     """Execute one offloaded task spec; returns (worker pid, seconds,
-    launch-counter delta).
+    launch-counter delta, lifecycle times).
 
     Runs in a worker process (or inline as a fallback).  Data arrays are
     attached from shared memory and mutated in place; only the timing and
@@ -57,8 +58,15 @@ def _run_payload(spec: dict) -> Tuple[int, float, dict]:
     stay local to the worker's forked device copies, but their counts,
     flops and bytes are merged into the driver's accounting so pool runs
     report the device activity their workers actually generated.
+
+    The lifecycle dict carries absolute ``perf_counter`` start/finish
+    timestamps (workers are forked, so the monotonic clock is shared
+    with the driver) and echoes the span id planted in the payload, so
+    the driver-side perfscope can reconcile the span across the process
+    boundary.
     """
     t0 = time.perf_counter()
+    sid = spec.pop("_sid", None)
     backend = (getattr(_WORKER_CTX[0], "exec_backend", None)
                if _WORKER_CTX is not None else None)
     before = backend.counters_snapshot() if backend is not None else {}
@@ -95,7 +103,29 @@ def _run_payload(spec: dict) -> Tuple[int, float, dict]:
         from repro.backend import counters_delta
 
         delta = counters_delta(backend.counters_snapshot(), before)
-    return os.getpid(), time.perf_counter() - t0, delta
+    t1 = time.perf_counter()
+    times: Dict[str, float] = {"t_started": t0, "t_finished": t1}
+    if sid is not None:
+        times["sid"] = sid
+    return os.getpid(), t1 - t0, delta, times
+
+
+def _run_payload_remote(blob: bytes):
+    """Worker-process entry: unpickle the task spec, run it, time both.
+
+    The driver pickles the payload itself (metering bytes and seconds —
+    the serialize bucket) and ships the blob, so ``multiprocessing``
+    only copies bytes instead of re-pickling the dict; the worker-side
+    unpickle is metered here as ``deserialize_s``.
+    """
+    t_att = time.perf_counter()
+    spec = pickle.loads(blob)
+    des = time.perf_counter() - t_att
+    pid, dur, delta, times = _run_payload(spec)
+    # the worker's busy span starts at blob arrival, not after unpickle
+    times["t_started"] = t_att
+    times["deserialize_s"] = des
+    return pid, (times["t_finished"] - t_att), delta, times
 
 
 def _rhs_update(spec: dict) -> None:
@@ -196,6 +226,9 @@ class PoolExecutor(BaseExecutor):
         #: launch counters reported by completed worker tasks, by kernel
         #: class, awaiting a drain at end of step
         self._counter_acc: dict = {}
+        #: driver-side lifecycle metering per in-flight task (tid ->
+        #: serialize seconds/bytes + dispatch timestamp)
+        self._lifecycle: Dict[int, dict] = {}
 
     def _ensure_pool(self):
         if self._pool is None:
@@ -212,7 +245,13 @@ class PoolExecutor(BaseExecutor):
 
     def submit(self, task, on_done: Callable) -> None:
         """Dispatch one offloadable task; ``on_done(task, worker, dur)``
-        fires from the scheduler loop (not the callback thread)."""
+        fires from the scheduler loop (not the callback thread).
+
+        The payload is pickled here in the driver (metered: seconds and
+        bytes feed the perfscope ``serialize`` bucket) and shipped as a
+        blob so ``multiprocessing`` only copies bytes rather than
+        re-pickling the dict.
+        """
         pool = self._ensure_pool()
         self._pending += 1
 
@@ -222,7 +261,15 @@ class PoolExecutor(BaseExecutor):
         def _err(exc, _task=task, _done=on_done):
             self._done.put((_task, _done, None, exc))
 
-        pool.apply_async(_run_payload, (task.payload,),
+        t0 = time.perf_counter()
+        blob = pickle.dumps(task.payload, protocol=pickle.HIGHEST_PROTOCOL)
+        t1 = time.perf_counter()
+        self._lifecycle[task.tid] = {
+            "serialize_s": t1 - t0,
+            "pickle_bytes": len(blob),
+            "t_dispatched": t1,
+        }
+        pool.apply_async(_run_payload_remote, (blob,),
                          callback=_cb, error_callback=_err)
 
     def in_flight(self) -> int:
@@ -236,12 +283,14 @@ class PoolExecutor(BaseExecutor):
         """Block for one completion and run its continuation."""
         task, on_done, result, exc = self._done.get(timeout=timeout)
         self._pending -= 1
+        lc = self._lifecycle.pop(task.tid, {})
         if exc is not None:
             raise RuntimeError(f"pool task {task.name!r} failed: {exc}") from exc
-        pid, dur, delta = result
+        pid, dur, delta, times = result
         self._merge_delta(delta)
+        lc.update(times)
         worker = self._worker_ids.setdefault(pid, len(self._worker_ids) + 1)
-        on_done(task, worker, dur)
+        on_done(task, worker, dur, lifecycle=lc)
 
     def _merge_delta(self, delta: dict) -> None:
         for cls, d in delta.items():
@@ -269,6 +318,7 @@ class PoolExecutor(BaseExecutor):
             except queue.Empty:  # pragma: no cover - racing consumers
                 break
         self._pending = 0
+        self._lifecycle.clear()
 
     def _terminate_pool(self) -> None:
         if self._pool is not None:

@@ -16,7 +16,13 @@ real schedule achieves, directly comparable to the modeled
 ``fillpatch_split`` nowait/finish decomposition.
 
 Every executed task is exported as a tracer span whose ``tid`` is the
-worker that ran it (0 = the driver, 1..N = pool workers).
+worker that ran it (0 = the driver, 1..N = pool workers).  When a
+:class:`~repro.observability.perfscope.PerfScope` is attached, the
+scheduler additionally records each task's full lifecycle (enqueued,
+pickled, dispatched, started-on-worker, finished, collected, merged)
+into a per-stage trace, and the worker tracks gain lifecycle
+sub-slices (``serialize`` on the driver track, ``wait``/``collect``
+around offloaded task spans).
 """
 
 from __future__ import annotations
@@ -105,11 +111,13 @@ class Scheduler:
     """Executes one TaskGraph on an executor, collecting a report."""
 
     def __init__(self, executor, profiler=None, tracer=None,
-                 trace_rank: int = 0) -> None:
+                 trace_rank: int = 0, perfscope=None) -> None:
         self.executor = executor
         self.profiler = profiler
         self.tracer = tracer
         self.trace_rank = trace_rank
+        #: optional repro.observability.perfscope.PerfScope collector
+        self.perfscope = perfscope
 
     def run(self, graph: TaskGraph) -> ScheduleReport:
         t_start = time.perf_counter()
@@ -117,21 +125,40 @@ class Scheduler:
                                 graphs=1)
         report.tasks_by_kind = graph.counts_by_kind()
 
+        scope = self.perfscope
+        is_pool = getattr(self.executor, "name", "serial") == "pool"
+        nlanes = 1 + (report.nworkers if is_pool else 0)
+        trace = scope.begin_stage(graph, nlanes) if (
+            scope is not None and scope.enabled) else None
+        if trace is not None:
+            # share the scheduler's epoch so driver-relative now() readings
+            # and worker-absolute perf_counter readings reconcile exactly
+            trace.t0_abs = t_start
+        # anchor this stage's spans on the tracer's own timeline so the
+        # worker tracks render as one continuous run, not per-stage piles
+        base_us = self.tracer.now_us() if self.tracer is not None else 0.0
+
         remaining = {t.tid for t in graph.tasks}
         unmet = {t.tid: len(t.deps) for t in graph.tasks}
         ready: List[Tuple[int, int]] = []  # (priority, tid)
+
+        def now() -> float:
+            return time.perf_counter() - t_start
+
+        def push(tid: int) -> None:
+            heapq.heappush(ready, (KIND_PRIORITY[graph.tasks[tid].kind], tid))
+            if trace is not None:
+                trace.enqueued(tid, now())
+
         for t in graph.tasks:
             if unmet[t.tid] == 0:
-                heapq.heappush(ready, (KIND_PRIORITY[t.kind], t.tid))
+                push(t.tid)
 
         # comm windows: channel -> post-completion time; closed windows
         # accumulate (open, close) intervals for the overlap integral
         open_windows: Dict[Hashable, float] = {}
         windows: List[Tuple[float, float]] = []
         compute_spans: List[Tuple[float, float]] = []
-
-        def now() -> float:
-            return time.perf_counter() - t_start
 
         def complete(task: Task, worker: int, dur: float,
                      t0: Optional[float] = None) -> None:
@@ -147,9 +174,9 @@ class Scheduler:
                 if t0 is not None:
                     compute_spans.append((t0, t0 + dur))
             if self.tracer is not None:
-                end_us = now() * 1e6
+                ts = t0 if t0 is not None else now() - dur
                 self.tracer.complete(
-                    task.name, end_us - dur * 1e6, dur * 1e6,
+                    task.name, base_us + ts * 1e6, dur * 1e6,
                     rank=self.trace_rank,
                     stream=RUNTIME_STREAM_BASE + worker, cat="task",
                     args={"kind": task.kind},
@@ -158,9 +185,9 @@ class Scheduler:
             for d in task.dependents:
                 unmet[d] -= 1
                 if unmet[d] == 0:
-                    heapq.heappush(
-                        ready, (KIND_PRIORITY[graph.tasks[d].kind], d)
-                    )
+                    push(d)
+            if trace is not None:
+                trace.merged(task.tid, now())
 
         def run_inline(task: Task) -> None:
             # the first consumer of a posted channel starting (comm-wait,
@@ -175,18 +202,33 @@ class Scheduler:
                     for name in task.regions:
                         stack.enter_context(self.profiler.region(name))
                 task.fn()
-            complete(task, worker=0, dur=now() - t0, t0=t0)
+            dur = now() - t0
+            if trace is not None:
+                trace.ran_inline(task.tid, t0, dur)
+            complete(task, worker=0, dur=dur, t0=t0)
 
-        def on_offload_done(task: Task, worker: int, dur: float) -> None:
+        def on_offload_done(task: Task, worker: int, dur: float,
+                            lifecycle: Optional[dict] = None) -> None:
             if self.profiler is not None:
                 self.profiler.charge("PoolWorkers", dur)
+            t_collected = now()
+            t0 = t_collected - dur
+            if trace is not None and lifecycle is not None:
+                trace.offloaded_done(task.tid, worker, dur, lifecycle,
+                                     t_collected)
+                span = trace.spans[task.tid]
+                t0 = span.t_started if span.t_started is not None else t0
             # worker wall time counts as compute concurrent with whatever
             # windows were open when it finished
-            complete(task, worker=worker, dur=dur, t0=now() - dur)
+            complete(task, worker=worker, dur=dur, t0=t0)
+            if trace is not None and lifecycle is not None:
+                # merged timestamp is stamped by complete(); now the full
+                # lifecycle can render as Chrome-trace sub-slices
+                self._trace_lifecycle(trace.spans[task.tid], worker, base_us)
 
         try:
             self._drive(graph, remaining, ready, unmet, run_inline,
-                        on_offload_done)
+                        on_offload_done, trace)
         except Exception:
             # a failed task must not leave zombie work behind: abandon
             # anything in flight (terminating pool workers so no stale
@@ -202,10 +244,42 @@ class Scheduler:
             windows.append((t_open, now()))
         report.makespan_s = now()
         report.overlap_s = _interval_overlap(compute_spans, windows)
+        if trace is not None:
+            trace.close(report.makespan_s)
         return report
 
+    def _trace_lifecycle(self, span, worker: int, base_us: float) -> None:
+        """Emit an offloaded task's lifecycle sub-slices to the tracer.
+
+        ``serialize`` lands on the driver track (that's whose time it
+        was), ``wait`` precedes the task span on the worker track, and
+        ``collect`` marks the driver folding the result back in.
+        """
+        if self.tracer is None:
+            return
+        args = {"task": span.name, "cat_detail": "lifecycle"}
+        if span.serialize_s and span.t_dispatched is not None:
+            self.tracer.complete(
+                "serialize", base_us + (span.t_dispatched
+                                        - span.serialize_s) * 1e6,
+                span.serialize_s * 1e6, rank=self.trace_rank,
+                stream=RUNTIME_STREAM_BASE, cat="lifecycle",
+                args=dict(args, bytes=span.pickle_bytes))
+        if span.queue_wait_s and span.t_dispatched is not None:
+            self.tracer.complete(
+                "wait", base_us + span.t_dispatched * 1e6,
+                span.queue_wait_s * 1e6, rank=self.trace_rank,
+                stream=RUNTIME_STREAM_BASE + worker, cat="lifecycle",
+                args=args)
+        if span.t_collected is not None and span.t_merged is not None:
+            self.tracer.complete(
+                "collect", base_us + span.t_collected * 1e6,
+                (span.t_merged - span.t_collected) * 1e6,
+                rank=self.trace_rank, stream=RUNTIME_STREAM_BASE,
+                cat="lifecycle", args=args)
+
     def _drive(self, graph, remaining, ready, unmet, run_inline,
-               on_offload_done) -> None:
+               on_offload_done, trace=None) -> None:
         """The scheduling loop: saturate the pool, run inline, drain."""
         while remaining:
             # keep the pool saturated with ready offloadable work before
@@ -221,6 +295,10 @@ class Scheduler:
                             ready[idx] = ready[-1]
                             ready.pop()
                             heapq.heapify(ready)
+                            if trace is not None:
+                                # the span id rides with the payload and
+                                # is echoed back by the worker
+                                task.payload["_sid"] = trace.sid(tid)
                             self.executor.submit(task, on_offload_done)
                             launched = True
                             break

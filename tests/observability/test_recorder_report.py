@@ -105,6 +105,73 @@ def test_report_cli_exit_codes(recorded_run, tmp_path, capsys):
     assert main([str(tmp_path / "nowhere")]) == 2
 
 
+class TestReportDegradesGracefully:
+    """Malformed run artifacts get a clear message, never a traceback."""
+
+    def test_empty_metrics_file(self, tmp_path, capsys):
+        from repro.observability.report import main
+
+        (tmp_path / "metrics.jsonl").write_text("")
+        assert main([str(tmp_path)]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "Traceback" not in err
+
+    def test_truncated_final_line_still_reports(self, recorded_run,
+                                                tmp_path, capsys):
+        from repro.observability.report import main
+
+        run_dir, _sim, _bd = recorded_run
+        intact = (run_dir / "metrics.jsonl").read_text()
+        # a run killed mid-write leaves a half-serialized final record
+        (tmp_path / "metrics.jsonl").write_text(
+            intact + intact.splitlines()[0][: len(intact) // 8])
+        assert main(["--metrics", str(tmp_path / "metrics.jsonl")]) == 0
+        out, err = capsys.readouterr()
+        assert "skipping malformed record" in err
+        # every intact record still rendered
+        assert f"{len(intact.splitlines())} timesteps" in out
+
+    def test_record_missing_metrics_section_skipped(self, tmp_path, capsys):
+        from repro.observability.report import main
+
+        path = tmp_path / "metrics.jsonl"
+        path.write_text(
+            '{"step": 0, "time": 0.0, "metrics": {"dt": 1e-3}}\n'
+            '{"step": 1, "time": 1e-3}\n')
+        assert main(["--metrics", str(path)]) == 0
+        out, err = capsys.readouterr()
+        assert "skipping record missing 'metrics'" in err
+        assert "1 timesteps" in out
+
+    def test_fully_malformed_metrics(self, tmp_path, capsys):
+        from repro.observability.report import main
+
+        path = tmp_path / "metrics.jsonl"
+        path.write_text("not json at all\n{{{\n")
+        assert main(["--metrics", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "no usable events or metrics" in err
+        assert "Traceback" not in err
+
+    def test_malformed_trace_json(self, tmp_path, capsys):
+        from repro.observability.report import main
+
+        (tmp_path / "trace.json").write_text('{"traceEvents": [{"ph"')
+        assert main([str(tmp_path)]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+
+    def test_strict_reader_still_raises(self, tmp_path):
+        bad = tmp_path / "m.jsonl"
+        bad.write_text('{"step": 0}\n')
+        with pytest.raises(ValueError):
+            MetricsRegistry.read_jsonl(bad)
+        bad.write_text("nope\n")
+        with pytest.raises(ValueError):
+            MetricsRegistry.read_jsonl(bad)
+
+
 def test_simulated_export_same_schema(tmp_path):
     from repro.perfmodel.trace_export import export_weak_scaling
 

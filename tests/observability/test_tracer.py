@@ -150,3 +150,66 @@ def test_load_rejects_invalid_trace(tmp_path):
     p.write_text(json.dumps({"traceEvents": [{"ph": "X"}]}))
     with pytest.raises(ValueError):
         load_chrome_trace(p)
+
+
+def test_concurrent_emitters_produce_valid_trace():
+    """Span nesting stays coherent when many threads emit concurrently.
+
+    The runtime emits spans from the scheduler loop while adapters fire
+    from callbacks; each emitter owns its own (rank, stream) track, the
+    contract the Chrome trace format needs.  The resulting document must
+    validate, keep every event on its emitter's track, and carry no
+    negative durations — even under heavy interleaving.
+    """
+    import threading
+
+    tr = Tracer()
+    n_threads, n_spans = 6, 40
+    barrier = threading.Barrier(n_threads)
+    errors = []
+
+    def emit(stream: int) -> None:
+        try:
+            barrier.wait()
+            for i in range(n_spans):
+                with tr.span(f"outer{i}", rank=0, stream=stream,
+                             args={"stream": stream}):
+                    with tr.span(f"inner{i}", rank=0, stream=stream):
+                        pass
+                tr.complete(f"direct{i}", tr.now_us(), 1.0,
+                            rank=0, stream=stream, cat="lifecycle")
+        except Exception as exc:  # pragma: no cover - failure reporting
+            errors.append(exc)
+
+    threads = [threading.Thread(target=emit, args=(s,))
+               for s in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert errors == []
+
+    doc = tr.to_chrome()
+    assert validate_chrome_trace(doc) == []
+    spans = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+    # every emitter's spans landed, on that emitter's own track
+    assert len(spans) == n_threads * n_spans * 3
+    for ev in spans:
+        assert ev["pid"] == 0
+        assert 0 <= ev["tid"] < n_threads
+        assert ev["dur"] >= 0.0
+        if "args" in ev and "stream" in ev["args"]:
+            assert ev["args"]["stream"] == ev["tid"]
+    # per-track nesting survived: each innerN sits inside its outerN
+    by_track = {}
+    for ev in spans:
+        by_track.setdefault(ev["tid"], []).append(ev)
+    for evs in by_track.values():
+        outers = {e["name"][5:]: e for e in evs
+                  if e["name"].startswith("outer")}
+        for e in evs:
+            if e["name"].startswith("inner"):
+                outer = outers[e["name"][5:]]
+                assert outer["ts"] <= e["ts"] + 1e-6
+                assert (e["ts"] + e["dur"]
+                        <= outer["ts"] + outer["dur"] + 1e-6)

@@ -1,0 +1,160 @@
+#!/usr/bin/env python
+"""Perf-regression gate over the BENCH_results.json trajectory.
+
+Each benchmark row is ``{"bench", "config", "value", "units", ...}``;
+rows with the same ``(bench, config)`` form a time series.  The gate
+compares the **newest** row of every series against the **median of the
+older rows** (the baseline — a median shrugs off one noisy outlier run)
+and fails when the newest value regressed by more than the threshold:
+
+- series in seconds (``units == "s"``) regress when the value *rises*;
+- any other units (``x``, ``fraction``, ``cells/s``...) are treated as
+  higher-is-better and regress when the value *falls*.
+
+Series with fewer than two rows are skipped — no baseline, no verdict —
+so a freshly added benchmark never fails the gate on its first run.
+
+Usage::
+
+    python tools/bench_gate.py [RESULTS.json] [--threshold 0.15]
+        [--baseline OLD.json] [--series NAME] [--list]
+
+With ``--baseline``, the newest row of every series in RESULTS is
+compared against the median of *all* rows of the same series in OLD
+(two-file mode: CI records a fresh file and gates it against the
+committed trajectory measured on the same machine).  Exit status: 0
+clean, 1 regression(s), 2 usage/IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from statistics import median
+from typing import Dict, List, Optional, Tuple
+
+#: default tolerated relative regression (15%)
+DEFAULT_THRESHOLD = 0.15
+
+#: units where a larger value means a slower/worse result
+LOWER_IS_BETTER_UNITS = {"s", "ms", "us", "bytes"}
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def load_rows(path: Path) -> List[dict]:
+    try:
+        rows = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise SystemExit(f"error: no such results file: {path}")
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"error: {path} is not valid JSON: {exc}")
+    if not isinstance(rows, list):
+        raise SystemExit(f"error: {path}: expected a JSON list of rows")
+    return [r for r in rows if isinstance(r, dict)
+            and "bench" in r and "config" in r and "value" in r]
+
+
+def group_series(rows: List[dict]) -> Dict[Tuple[str, str], List[dict]]:
+    series: Dict[Tuple[str, str], List[dict]] = {}
+    for row in rows:
+        series.setdefault((row["bench"], row["config"]), []).append(row)
+    return series
+
+
+def lower_is_better(units: str) -> bool:
+    return units in LOWER_IS_BETTER_UNITS
+
+
+def check_series(key: Tuple[str, str], newest: dict,
+                 baseline_rows: List[dict],
+                 threshold: float) -> Optional[dict]:
+    """Verdict dict for one series, or None when it can't be judged."""
+    if not baseline_rows:
+        return None
+    base = median(float(r["value"]) for r in baseline_rows)
+    new = float(newest["value"])
+    units = str(newest.get("units", ""))
+    if base == 0.0:
+        return None  # a zero baseline has no meaningful relative change
+    if lower_is_better(units):
+        change = (new - base) / abs(base)     # + = slower = regression
+    else:
+        change = (base - new) / abs(base)     # + = smaller = regression
+    return {"bench": key[0], "config": key[1], "units": units,
+            "baseline": base, "value": new, "n_baseline": len(baseline_rows),
+            "regression": change, "failed": change > threshold}
+
+
+def run_gate(results: Path, baseline: Optional[Path], threshold: float,
+             only_series: Optional[str] = None,
+             list_all: bool = False) -> int:
+    series = group_series(load_rows(results))
+    base_series = (group_series(load_rows(baseline))
+                   if baseline is not None else None)
+    verdicts = []
+    skipped = 0
+    for key in sorted(series):
+        if only_series is not None and only_series not in key[0]:
+            continue
+        rows = series[key]
+        newest = rows[-1]
+        if base_series is not None:
+            history = base_series.get(key, [])
+        else:
+            history = rows[:-1]  # self-trajectory: older rows of this file
+        verdict = check_series(key, newest, history, threshold)
+        if verdict is None:
+            skipped += 1
+            continue
+        verdicts.append(verdict)
+
+    failed = [v for v in verdicts if v["failed"]]
+    mode = f"vs {baseline}" if baseline is not None else "self-trajectory"
+    print(f"bench gate: {len(verdicts)} series judged, {skipped} skipped "
+          f"(no baseline), threshold {threshold:.0%}, {mode}")
+    shown = verdicts if list_all else failed
+    for v in shown:
+        arrow = "REGRESSED" if v["failed"] else "ok"
+        print(f"  [{arrow:>9s}] {v['bench']} ({v['config']}): "
+              f"{v['baseline']:.4g} -> {v['value']:.4g} {v['units']} "
+              f"({v['regression']:+.1%} vs median of {v['n_baseline']})")
+    if failed:
+        print(f"bench gate: FAIL — {len(failed)} series regressed more "
+              f"than {threshold:.0%}")
+        return 1
+    print("bench gate: PASS")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="bench_gate",
+        description="Fail when the newest benchmark rows regress beyond a "
+                    "threshold against the series baseline.")
+    parser.add_argument("results", nargs="?",
+                        default=str(ROOT / "BENCH_results.json"),
+                        help="results file to judge (newest row per series)")
+    parser.add_argument("--baseline", default=None,
+                        help="compare against this older results file "
+                             "instead of the results file's own history")
+    parser.add_argument("--threshold", type=float,
+                        default=DEFAULT_THRESHOLD,
+                        help="tolerated relative regression "
+                             f"(default {DEFAULT_THRESHOLD:.0%})")
+    parser.add_argument("--series", default=None,
+                        help="only judge benches whose name contains this")
+    parser.add_argument("--list", action="store_true", dest="list_all",
+                        help="print every judged series, not just failures")
+    args = parser.parse_args(argv)
+    if args.threshold < 0:
+        parser.error("--threshold must be non-negative")
+    return run_gate(Path(args.results),
+                    Path(args.baseline) if args.baseline else None,
+                    args.threshold, args.series, args.list_all)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

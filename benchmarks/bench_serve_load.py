@@ -1,0 +1,109 @@
+"""Service load test: hundreds of small decks through the worker fleet.
+
+Queues ``NRUNS`` one-step Sod decks (cycling over ``NCONFIGS`` distinct
+grid sizes, so the cross-run cache sees each configuration repeatedly)
+against a pool-backed :class:`~repro.serve.fleet.WorkerFleet` and
+records the service's headline numbers to BENCH_results.json:
+
+- sustained throughput (completed runs per minute),
+- p50 / p99 submit-to-done latency under a fully loaded queue,
+- the cross-run cache hit rate (must stay above 80% on repeated
+  configurations — each distinct config misses once, every repeat
+  hits).
+
+All rows are gate-compatible with ``tools/bench_gate.py`` (latencies in
+seconds regress when they grow; throughput and hit rate regress when
+they shrink).
+"""
+
+import multiprocessing
+import time
+
+import pytest
+
+from benchmarks._record import record
+from benchmarks.conftest import FULL, table
+from repro.serve.fleet import WorkerFleet
+from repro.serve.registry import RunRegistry
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="fleet pool needs the fork start method",
+)
+
+NRUNS = 400 if FULL else 200
+NCONFIGS = 4
+WORKERS = 2
+TIMEOUT_S = 900 if FULL else 600
+
+
+def _deck(i: int) -> str:
+    # a handful of distinct configs, cycled: the cache-hit path dominates
+    # (multiples of the default blocking_factor=8)
+    ncell = 16 + 8 * (i % NCONFIGS)
+    return f"crocco.case = sod\namr.n_cell = {ncell}\nrun.steps = 1\n"
+
+
+def _percentile(sorted_vals, q: float) -> float:
+    if not sorted_vals:
+        return float("nan")
+    idx = min(len(sorted_vals) - 1, int(round(q * (len(sorted_vals) - 1))))
+    return sorted_vals[idx]
+
+
+def _drain(reg: RunRegistry, run_ids) -> None:
+    t_end = time.monotonic() + TIMEOUT_S
+    pending = set(run_ids)
+    while pending and time.monotonic() < t_end:
+        done = {rid for rid in pending
+                if reg.get(rid).state in ("done", "failed", "cancelled")}
+        pending -= done
+        if pending:
+            time.sleep(0.05)
+    assert not pending, f"{len(pending)} runs never finished"
+
+
+def test_serve_load(tmp_path, benchmark):
+    reg = RunRegistry(tmp_path / "svc")
+    fleet = WorkerFleet(reg, tmp_path / "svc" / "cache", workers=WORKERS,
+                        task_timeout=120.0).start()
+
+    def build():
+        t0 = time.monotonic()
+        recs = [reg.submit(_deck(i)) for i in range(NRUNS)]
+        _drain(reg, [r.id for r in recs])
+        wall = time.monotonic() - t0
+        return recs, wall
+
+    try:
+        recs, wall = benchmark.pedantic(build, rounds=1, iterations=1)
+    finally:
+        fleet.stop()
+
+    finals = [reg.get(r.id) for r in recs]
+    states = [f.state for f in finals]
+    assert states.count("done") == NRUNS, (
+        f"not all runs completed: { {s: states.count(s) for s in set(states)} }")
+
+    latencies = sorted(f.latency_s for f in finals)
+    p50 = _percentile(latencies, 0.50)
+    p99 = _percentile(latencies, 0.99)
+    runs_per_min = NRUNS / wall * 60.0
+    hit_rate = fleet.cache_hit_rate()
+    assert hit_rate is not None and hit_rate > 0.8, (
+        f"cross-run cache hit rate {hit_rate} below 80% on repeated configs")
+
+    table(f"Service load — {NRUNS} decks over {NCONFIGS} configs, "
+          f"{WORKERS} workers",
+          ("metric", "value"),
+          [("wall [s]", f"{wall:.2f}"),
+           ("throughput [runs/min]", f"{runs_per_min:.1f}"),
+           ("latency p50 [s]", f"{p50:.3f}"),
+           ("latency p99 [s]", f"{p99:.3f}"),
+           ("cache hit rate", f"{hit_rate:.1%}")])
+
+    common = dict(runs=NRUNS, configs=NCONFIGS, workers=WORKERS)
+    record("serve_load", "throughput", runs_per_min, "runs/min", **common)
+    record("serve_load", "latency_p50", p50, "s", **common)
+    record("serve_load", "latency_p99", p99, "s", **common)
+    record("serve_load", "cache_hit_rate", hit_rate, "fraction", **common)

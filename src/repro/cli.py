@@ -20,6 +20,9 @@ Deck keys (beyond the ones :class:`repro.io.inputs.InputDeck` maps onto
     run.trace_out   = trace.json     # Chrome trace-event JSON (Perfetto)
     run.metrics_out = metrics.jsonl  # per-timestep metrics time series
     run.profile     = true           # print profiler + ledger reports at end
+    run.cache_dir   = cache          # cross-run immutable cache directory
+    run.max_steps   = 200            # hard step budget (watchdog-enforced)
+    run.max_wall_s  = 60             # hard wall budget, seconds
     runtime.executor = serial        # or pool: multiprocessing task runtime
     runtime.workers  = 4             # pool worker count (default: CPU count)
     backend.target   = auto          # execution backend: host | device | auto
@@ -48,7 +51,7 @@ from repro.cases.ramp import CompressionRamp
 from repro.cases.reacting import IgnitionFront
 from repro.cases.shocktube import SodShockTube
 from repro.cases.vortex import IsentropicVortex
-from repro.core.crocco import Crocco
+from repro.core.crocco import ConfigError, Crocco
 from repro.io.checkpoint import load_checkpoint, save_checkpoint
 from repro.io.inputs import InputDeck
 from repro.io.plotfile import write_plotfile
@@ -109,6 +112,10 @@ def main(argv: Optional[list] = None) -> int:
                              "(multiprocessing workers, comm/compute overlap)")
     parser.add_argument("--workers", type=int, default=None,
                         help="override runtime.workers (pool size)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="cross-run immutable cache directory (grid "
+                             "coords, curvilinear metrics, EOS tables, "
+                             "interp weights; overrides run.cache_dir)")
     parser.add_argument("--backend", default=None,
                         choices=["host", "device", "auto"],
                         help="override backend.target: 'host' (plain "
@@ -132,7 +139,11 @@ def main(argv: Optional[list] = None) -> int:
 
     deck = InputDeck.from_file(args.deck)
     case = build_case(deck)
-    config = deck.to_crocco_config()
+    try:
+        config = deck.to_crocco_config()
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if args.record:
         from pathlib import Path
 
@@ -146,8 +157,10 @@ def main(argv: Optional[list] = None) -> int:
         config.profile = True
     if args.executor:
         config.executor = args.executor
-    if args.workers:
+    if args.workers is not None:
         config.workers = args.workers
+    if args.cache_dir:
+        config.cache_dir = args.cache_dir
     if args.backend:
         config.backend_target = args.backend
     if args.faults is not None:
@@ -160,7 +173,11 @@ def main(argv: Optional[list] = None) -> int:
         config.autocheckpoint_dir = args.autocheckpoint_dir
     if args.no_watchdog:
         config.watchdog = False
-    sim = Crocco(case, config)
+    try:
+        sim = Crocco(case, config)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     restart = deck.get_str("run.restart")
     if restart:
         load_checkpoint(restart, sim)

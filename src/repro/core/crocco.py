@@ -58,6 +58,28 @@ INTERPOLATORS = {
 }
 
 
+class ConfigError(ValueError):
+    """An invalid run configuration, reported before anything is built.
+
+    Raised by :meth:`CroccoConfig.validate` (and the env-var parsers) so
+    the CLI and the serve layer can turn a bad deck or environment into
+    a clear one-line message instead of a traceback deep inside pool or
+    engine construction.
+    """
+
+
+def _workers_from_env() -> Optional[int]:
+    """Parse REPRO_WORKERS, rejecting non-numeric values up front."""
+    raw = os.environ.get("REPRO_WORKERS")
+    if not raw:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        raise ConfigError(
+            f"REPRO_WORKERS must be an integer, got {raw!r}") from None
+
+
 @dataclass
 class CroccoConfig:
     """Run configuration (the input deck)."""
@@ -95,9 +117,7 @@ class CroccoConfig:
     executor: str = field(
         default_factory=lambda: os.environ.get("REPRO_EXECUTOR", "serial"))
     #: pool worker count (default: one per CPU core, minimum two)
-    workers: Optional[int] = field(
-        default_factory=lambda: int(os.environ["REPRO_WORKERS"])
-        if os.environ.get("REPRO_WORKERS") else None)
+    workers: Optional[int] = field(default_factory=_workers_from_env)
     #: collect task-lifecycle spans + overhead attribution (perf.* gauges,
     #: the report's Bottleneck section); measured cost is ~per-task dict
     #: bookkeeping, itself reported as perf.overhead_s
@@ -108,6 +128,21 @@ class CroccoConfig:
     #: by the REPRO_BACKEND env var for CI matrices
     backend_target: str = field(
         default_factory=lambda: os.environ.get("REPRO_BACKEND", "auto"))
+    #: cross-run immutable cache directory (grid coords, curvilinear
+    #: metrics, EOS tables, interpolation weights); None disables caching.
+    #: Deck key ``run.cache_dir``; the serve layer points every run of a
+    #: service at one shared directory.
+    cache_dir: Optional[str] = None
+    #: hard step budget enforced by the watchdog (None = unbounded); the
+    #: serve layer maps a run's ``max_steps`` here and the watchdog raises
+    #: :class:`~repro.resilience.watchdog.RunBudgetExceeded` when spent
+    step_budget: Optional[int] = None
+    #: hard wall-clock budget in seconds, measured from the first guarded
+    #: step (None = unbounded); deck key ``run.max_wall_s``
+    wall_budget_s: Optional[float] = None
+    #: stream each metrics sample to ``metrics_out`` as it is taken (the
+    #: serve layer's live-progress mode) instead of writing at finalize
+    metrics_stream: bool = False
 
     # -- resilience (deck section ``resilience.*``) -----------------------
     #: validate every step (NaN/Inf, positivity spikes, CFL blowup) and
@@ -147,6 +182,30 @@ class CroccoConfig:
     def resolve_version(self) -> VersionConfig:
         return get_version(self.version)
 
+    def validate(self) -> "CroccoConfig":
+        """Reject invalid runtime settings with a clear message.
+
+        Catches the classic foot-guns — ``workers < 1``, an unknown
+        executor name, malformed budgets — here, where the failing knob
+        can be named, instead of deep inside pool construction.
+        """
+        from repro.runtime.executors import EXECUTORS
+
+        if self.executor not in EXECUTORS:
+            raise ConfigError(
+                f"unknown executor {self.executor!r}; options "
+                f"{', '.join(EXECUTORS)}")
+        if self.workers is not None and self.workers < 1:
+            raise ConfigError(
+                f"workers must be >= 1, got {self.workers}")
+        if self.step_budget is not None and self.step_budget < 1:
+            raise ConfigError(
+                f"step budget must be >= 1, got {self.step_budget}")
+        if self.wall_budget_s is not None and self.wall_budget_s <= 0:
+            raise ConfigError(
+                f"wall budget must be positive, got {self.wall_budget_s}")
+        return self
+
 
 class Crocco(AmrCore):
     """A configured CRoCCo simulation on one Case."""
@@ -154,9 +213,19 @@ class Crocco(AmrCore):
     def __init__(self, case: Case, config: Optional[CroccoConfig] = None) -> None:
         self.case = case
         self.config = config if config is not None else CroccoConfig()
+        self.config.validate()
         self.version = self.config.resolve_version()
         if self.config.coords_source not in ("stored", "file"):
             raise ValueError("coords_source must be 'stored' or 'file'")
+
+        #: cross-run immutable cache (coords / curvilinear metrics / EOS
+        #: tables / interp weights), shared by every run pointed at the
+        #: same directory — the serve layer's fleet-wide store
+        self.case_cache = None
+        if self.config.cache_dir:
+            from repro.serve.cache import CaseCache
+
+            self.case_cache = CaseCache(self.config.cache_dir)
 
         max_level = self.config.max_level if self.version.amr else 0
         self._auto_regrid = self.config.regrid_int == "auto"
@@ -252,7 +321,11 @@ class Crocco(AmrCore):
                                     perfscope=self.config.perfscope)
 
         self.watchdog = None
-        if self.config.watchdog:
+        has_budget = (self.config.step_budget is not None
+                      or self.config.wall_budget_s is not None)
+        if self.config.watchdog or has_budget:
+            # budgets are enforced on the watchdog path, so setting one
+            # implies the watchdog even when validation is switched off
             from repro.resilience.watchdog import StepWatchdog
 
             self.watchdog = StepWatchdog(
@@ -264,6 +337,8 @@ class Crocco(AmrCore):
                 autocheckpoint_dir=self.config.autocheckpoint_dir,
                 autocheckpoint_keep=self.config.autocheckpoint_keep,
                 max_restores=self.config.max_restores,
+                step_budget=self.config.step_budget,
+                wall_budget_s=self.config.wall_budget_s,
                 stats=self.resilience,
             )
 
@@ -271,8 +346,10 @@ class Crocco(AmrCore):
         if self.config.trace_out or self.config.metrics_out:
             from repro.observability.recorder import RunRecorder
 
-            self.recorder = RunRecorder(trace_out=self.config.trace_out,
-                                        metrics_out=self.config.metrics_out)
+            self.recorder = RunRecorder(
+                trace_out=self.config.trace_out,
+                metrics_out=self.config.metrics_out,
+                stream_metrics=self.config.metrics_stream)
             self.recorder.attach(self)
             self.engine.bind_tracer(self.recorder.tracer)
 
@@ -282,6 +359,10 @@ class Crocco(AmrCore):
         from repro.backend import use_backend
 
         with use_backend(self.exec_backend), self.profiler.region("Init"):
+            if self.case_cache is not None:
+                interp_name = (self.config.interpolator
+                               or self.version.interpolator)
+                self.case_cache.warm(self.case, interp_name)
             if self.config.coords_source == "file":
                 self._write_coords_file()
             self.init_from_scratch()
@@ -389,7 +470,15 @@ class Crocco(AmrCore):
         self.metrics[lev] = {}
         for i, fab in coords:
             if self.case.curvilinear:
-                self.metrics[lev][i] = CurvilinearMetrics.from_coordinates(fab.whole())
+                if self.case_cache is not None:
+                    # cross-run store of the 27-component metrics arrays;
+                    # a hit rebuilds the exact float64 arrays, so cached
+                    # and freshly computed runs stay bitwise identical
+                    self.metrics[lev][i] = (
+                        self.case_cache.curvilinear_metrics(fab.whole()))
+                else:
+                    self.metrics[lev][i] = (
+                        CurvilinearMetrics.from_coordinates(fab.whole()))
             else:
                 self.metrics[lev][i] = CartesianMetrics(self.case.cartesian_dx(geom))
         if self.devices is not None:
@@ -418,6 +507,8 @@ class Crocco(AmrCore):
                 # it per patch is exactly the overhead the paper removed
                 _ = np.load(self._coords_file, mmap_mode=None)
                 return self.case.coordinates(geom, region)
+        if self.case_cache is not None:
+            return self.case_cache.coordinates(self.case, geom, region)
         return self.case.coordinates(geom, region)
 
     def _clear_level_storage(self, lev: int) -> None:

@@ -107,8 +107,14 @@ class InputDeck:
         if executor:
             cfg.executor = executor
         workers = self.get_int("runtime.workers")
-        if workers:
+        if workers is not None:
+            # "is not None", not truthiness: an explicit workers = 0 must
+            # reach validate() and be rejected, not silently ignored
             cfg.workers = workers
+        cfg.cache_dir = self.get_str("run.cache_dir", cfg.cache_dir)
+        cfg.step_budget = self.get_int("run.max_steps", cfg.step_budget)
+        cfg.wall_budget_s = self.get_float("run.max_wall_s",
+                                           cfg.wall_budget_s)
         cfg.perfscope = self.get_bool("runtime.perfscope", cfg.perfscope)
         target = self.get_str("backend.target")
         if target:

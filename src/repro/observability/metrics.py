@@ -79,6 +79,8 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._instruments: Dict[str, object] = {}
         self.records: List[dict] = []
+        self._stream = None
+        self._stream_path: Optional[str] = None
 
     def _get(self, name: str, cls):
         inst = self._instruments.get(name)
@@ -127,11 +129,43 @@ class MetricsRegistry:
             metrics.update({k: float(v) for k, v in extra.items()})
         rec = {"step": int(step), "time": float(time), "metrics": metrics}
         self.records.append(rec)
+        if self._stream is not None:
+            self._stream.write(json.dumps(rec) + "\n")
+            self._stream.flush()
         return rec
 
     # -- serialization -----------------------------------------------------
+    def stream_to(self, path) -> str:
+        """Start appending each sample to ``path`` as it is taken.
+
+        Streaming mode is what lets a live consumer (the serve layer's
+        ``GET /runs/<id>/metrics``) watch a run's progress: every
+        :meth:`sample` writes one complete line and flushes, so a reader
+        sees at most one truncated record at the tail — which the
+        tolerant reader skips.  :meth:`write_jsonl` on the same path then
+        becomes a no-op close (the records are already on disk).
+        """
+        p = Path(path)
+        p.parent.mkdir(parents=True, exist_ok=True)
+        self.close_stream()
+        self._stream = p.open("w")
+        self._stream_path = str(p)
+        for rec in self.records:  # records sampled before streaming began
+            self._stream.write(json.dumps(rec) + "\n")
+        self._stream.flush()
+        return str(p)
+
+    def close_stream(self) -> None:
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+
     def write_jsonl(self, path) -> str:
         p = Path(path)
+        if self._stream is not None and str(p) == self._stream_path:
+            # streamed all along: every record is already in the file
+            self.close_stream()
+            return str(p)
         p.parent.mkdir(parents=True, exist_ok=True)
         with p.open("w") as f:
             for rec in self.records:

@@ -34,7 +34,8 @@ class RunRecorder:
     """Tracer + registry + adapters for one recorded run."""
 
     def __init__(self, trace_out: Optional[str] = None,
-                 metrics_out: Optional[str] = None) -> None:
+                 metrics_out: Optional[str] = None,
+                 stream_metrics: bool = False) -> None:
         self.trace_out = trace_out
         self.metrics_out = metrics_out
         self.tracer = Tracer()
@@ -42,6 +43,10 @@ class RunRecorder:
         self.ledger_adapter: Optional[LedgerMetricsAdapter] = None
         self._sim = None
         self._finalized = False
+        if stream_metrics and metrics_out:
+            # live runs (the serve layer) append each sample as it is
+            # taken so progress is observable before the run finishes
+            self.metrics.stream_to(metrics_out)
 
     # -- wiring ------------------------------------------------------------
     def attach(self, sim) -> None:

@@ -533,6 +533,42 @@ def format_report(events: Sequence[dict], other: dict,
 
 # -- CLI --------------------------------------------------------------------
 
+def load_service_record(run_dir: Optional[str]) -> Optional[dict]:
+    """The serve layer's ``run.json`` for a service run directory, if any.
+
+    Returns None for plain ``--record`` directories (no registry record)
+    and for torn/unreadable records — the report then renders exactly as
+    before the serving layer existed.
+    """
+    if run_dir is None:
+        return None
+    path = Path(run_dir) / "run.json"
+    if not path.exists():
+        return None
+    import json
+
+    try:
+        rec = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    return rec if isinstance(rec, dict) and "state" in rec else None
+
+
+def service_header(rec: dict) -> str:
+    """One context line for a service-submitted run."""
+    parts = [f"service run {rec.get('id', '?')} [{rec.get('state', '?')}]"]
+    if rec.get("label"):
+        parts.append(f"label={rec['label']}")
+    if rec.get("reason"):
+        parts.append(f"reason={rec['reason']!r}")
+    result = rec.get("result") or {}
+    if result.get("case"):
+        parts.append(f"case={result['case']}")
+    if rec.get("latency_s") is not None:
+        parts.append(f"latency={rec['latency_s']:.2f}s")
+    return "  ".join(parts)
+
+
 def load_run(run_dir: Optional[str] = None, trace: Optional[str] = None,
              metrics: Optional[str] = None):
     """Resolve and load a run's artifacts; returns (events, other, records)."""
@@ -572,19 +608,37 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.run_dir is None and args.trace is None and args.metrics is None:
         parser.error("give a run directory or --trace/--metrics paths")
+    service = load_service_record(args.run_dir)
     try:
         events, other, records = load_run(args.run_dir, args.trace, args.metrics)
     except (FileNotFoundError, ValueError) as exc:
+        if service is not None and service.get("state") in ("queued",
+                                                            "running"):
+            # a service run that hasn't produced artifacts yet is not an
+            # error in the artifacts — say what's actually happening
+            print(f"error: service run {service.get('id', '?')} is still "
+                  f"{service['state']!r}; no metrics recorded yet — "
+                  "retry once the run has progressed", file=sys.stderr)
+            return 2
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except Exception as exc:  # malformed trace JSON etc. — degrade cleanly
         print(f"error: could not load run artifacts: {exc}", file=sys.stderr)
         return 2
     if not events and not records:
+        if service is not None and service.get("state") in ("queued",
+                                                            "running"):
+            print(f"error: service run {service.get('id', '?')} is still "
+                  f"{service['state']!r}; its metrics stream holds no "
+                  "complete record yet — retry once the run has "
+                  "progressed", file=sys.stderr)
+            return 2
         print("error: run artifacts held no usable events or metrics "
               "records (empty or fully truncated files?)", file=sys.stderr)
         return 2
     try:
+        if service is not None:
+            print(service_header(service))
         print(format_report(events, other, records, top=args.top))
     except BrokenPipeError:  # e.g. piped into head
         import os

@@ -40,6 +40,22 @@ from repro.resilience.stats import ResilienceStats
 from repro.resilience.supervisor import TaskFailedError
 
 
+class RunBudgetExceeded(RuntimeError):
+    """A run hit its step or wall budget; deliberately NOT retryable.
+
+    The serve layer maps a run's per-run budgets onto the watchdog; when
+    a budget is spent this propagates out of :meth:`guarded_advance`
+    unmasked (it is not in :data:`RETRYABLE`), so the driver stops at a
+    step boundary with a consistent state — budget-exceeded cancellation
+    rides the same path as every other watchdog-policed condition.
+    """
+
+    def __init__(self, message: str, budget: str = "steps") -> None:
+        super().__init__(message)
+        #: which budget tripped: ``"steps"`` or ``"wall"``
+        self.budget = budget
+
+
 class StepFailure(RuntimeError):
     """One step's validation failed; carries a retry classification.
 
@@ -70,6 +86,8 @@ class StepWatchdog:
                  autocheckpoint_every: int = 0,
                  autocheckpoint_dir: str = "autochk",
                  autocheckpoint_keep: int = 2, max_restores: int = 2,
+                 step_budget: Optional[int] = None,
+                 wall_budget_s: Optional[float] = None,
                  stats: Optional[ResilienceStats] = None) -> None:
         self.max_step_retries = int(max_step_retries)
         self.retry_same_dt = int(retry_same_dt)
@@ -79,14 +97,44 @@ class StepWatchdog:
         self.autocheckpoint_dir = autocheckpoint_dir
         self.autocheckpoint_keep = int(autocheckpoint_keep)
         self.max_restores = int(max_restores)
+        self.step_budget = step_budget
+        self.wall_budget_s = wall_budget_s
         self.stats = stats if stats is not None else ResilienceStats()
         #: path of the most recent successfully written autocheckpoint
         self.last_good: Optional[Path] = None
         self._restores = 0
+        #: wall clock anchor, set at the first guarded advance
+        self._t0: Optional[float] = None
+
+    # -- budgets -----------------------------------------------------------
+    def _check_budget(self, sim) -> None:
+        """Raise :class:`RunBudgetExceeded` once a budget is spent.
+
+        Checked *before* a step, so budget overrun always surfaces at a
+        step boundary with a consistent, checkpointable state.
+        """
+        import time as _time
+
+        if self._t0 is None:
+            self._t0 = _time.monotonic()
+        if (self.step_budget is not None
+                and sim.step_count >= self.step_budget):
+            self.stats.inc("budget_cancellations")
+            raise RunBudgetExceeded(
+                f"step budget exhausted: {sim.step_count} steps "
+                f"(budget {self.step_budget})", budget="steps")
+        if self.wall_budget_s is not None:
+            elapsed = _time.monotonic() - self._t0
+            if elapsed >= self.wall_budget_s:
+                self.stats.inc("budget_cancellations")
+                raise RunBudgetExceeded(
+                    f"wall budget exhausted: {elapsed:.1f}s elapsed "
+                    f"(budget {self.wall_budget_s:g}s)", budget="wall")
 
     # -- the guarded advance ----------------------------------------------
     def guarded_advance(self, sim) -> None:
         """Advance ``sim`` one step, retrying/rolling back on failure."""
+        self._check_budget(sim)
         dt = sim._compute_dt()
         snap = self._snapshot(sim)
         guard = getattr(sim, "guard", None)

@@ -96,6 +96,13 @@ def _run_payload(spec: dict) -> Tuple[int, float, dict, Dict[str, float]]:
     op = spec["op"]
     if op == "rhs_update":
         _rhs_update(spec)
+    elif op == "serve_run":
+        # a whole simulation run dispatched by the serve layer's shared
+        # fleet; the import is deferred so plain solver pools never load
+        # the serving stack
+        from repro.serve.worker import execute_serve_run
+
+        execute_serve_run(spec)
     else:  # pragma: no cover - future ops
         raise ValueError(f"unknown payload op {op!r}")
     delta = {}

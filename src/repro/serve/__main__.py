@@ -1,0 +1,70 @@
+"""``python -m repro.serve``: start the simulation service.
+
+Example::
+
+    python -m repro.serve --root service_dir --port 8123 --workers 4
+
+Then submit decks with ``python -m repro.serve.client`` or plain curl::
+
+    curl -s -X POST localhost:8123/runs \\
+        -d '{"keys": {"crocco.case": "sod", "run.steps": 5}}'
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.serve.server import ServiceHandler, make_server
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.serve", description="Run the simulation service.")
+    parser.add_argument("--root", required=True,
+                        help="service state directory (registry + cache)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8123,
+                        help="listen port (0 = ephemeral)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="shared fleet size (worker processes)")
+    parser.add_argument("--executor", default="pool",
+                        choices=["pool", "inline"],
+                        help="fleet executor: 'pool' (worker processes) or "
+                             "'inline' (runs execute in the service "
+                             "process, for platforms without fork)")
+    parser.add_argument("--task-timeout", type=float, default=300.0,
+                        help="seconds before an in-flight run is presumed "
+                             "lost to a dead worker")
+    parser.add_argument("--task-retries", type=int, default=1,
+                        help="re-dispatch budget for lost/failed runs")
+    parser.add_argument("--verbose", action="store_true",
+                        help="log each HTTP request")
+    args = parser.parse_args(argv)
+
+    if args.workers < 1:
+        print(f"error: workers must be >= 1, got {args.workers}",
+              file=sys.stderr)
+        return 2
+    ServiceHandler.quiet = not args.verbose
+    httpd = make_server(args.root, port=args.port, host=args.host,
+                        workers=args.workers, executor=args.executor,
+                        task_timeout=args.task_timeout,
+                        task_retries=args.task_retries)
+    host, port = httpd.server_address[:2]
+    print(f"repro.serve listening on http://{host}:{port} "
+          f"(root {args.root}, {args.workers} worker(s), "
+          f"{args.executor} fleet)", flush=True)
+    try:
+        httpd.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        httpd.service.stop()  # type: ignore[attr-defined]
+        httpd.server_close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

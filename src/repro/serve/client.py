@@ -1,0 +1,174 @@
+"""Stdlib client for the simulation service, importable and as a CLI.
+
+Library use::
+
+    from repro.serve.client import ServeClient
+    c = ServeClient("http://127.0.0.1:8123")
+    run = c.submit_file("examples/decks/sod.inputs", max_steps=50)
+    done = c.wait(run["id"], timeout=120)
+
+CLI use (CI's smoke job and the curl-averse)::
+
+    python -m repro.serve.client --url http://127.0.0.1:8123 \\
+        submit examples/decks/sod.inputs --wait
+    python -m repro.serve.client --url ... status r00001
+    python -m repro.serve.client --url ... stats
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+from typing import Optional
+
+
+class ServeError(RuntimeError):
+    """A non-2xx service response (carries the HTTP status)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServeClient:
+    """Thin JSON-over-HTTP wrapper around the service endpoints."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _req(self, method: str, path: str, body: Optional[dict] = None):
+        data = json.dumps(body).encode() if body is not None else None
+        req = urllib.request.Request(
+            self.base_url + path, data=data, method=method,
+            headers={"Content-Type": "application/json"})
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return json.loads(resp.read().decode())
+        except urllib.error.HTTPError as exc:
+            try:
+                detail = json.loads(exc.read().decode()).get("error", "")
+            except Exception:
+                detail = exc.reason
+            raise ServeError(exc.code, detail) from None
+
+    # -- endpoints ---------------------------------------------------------
+    def healthz(self) -> dict:
+        return self._req("GET", "/healthz")
+
+    def submit(self, deck: Optional[str] = None,
+               keys: Optional[dict] = None, **opts) -> dict:
+        body = dict(opts)
+        if deck is not None:
+            body["deck"] = deck
+        if keys is not None:
+            body["keys"] = keys
+        return self._req("POST", "/runs", body)
+
+    def submit_file(self, path, **opts) -> dict:
+        return self.submit(deck=Path(path).read_text(), **opts)
+
+    def status(self, run_id: str) -> dict:
+        return self._req("GET", f"/runs/{run_id}")
+
+    def metrics(self, run_id: str, tail: Optional[int] = None) -> dict:
+        q = f"?tail={tail}" if tail else ""
+        return self._req("GET", f"/runs/{run_id}/metrics{q}")
+
+    def cancel(self, run_id: str) -> dict:
+        return self._req("POST", f"/runs/{run_id}/cancel")
+
+    def list(self, state: Optional[str] = None) -> list:
+        q = f"?state={state}" if state else ""
+        return self._req("GET", f"/runs{q}")["runs"]
+
+    def stats(self) -> dict:
+        return self._req("GET", "/stats")
+
+    def wait(self, run_id: str, timeout: Optional[float] = None,
+             poll: float = 0.2) -> dict:
+        """Poll until the run reaches a terminal state; returns its record."""
+        t_end = None if timeout is None else time.monotonic() + timeout
+        while True:
+            rec = self.status(run_id)
+            if rec["state"] in ("done", "failed", "cancelled"):
+                return rec
+            if t_end is not None and time.monotonic() >= t_end:
+                raise TimeoutError(
+                    f"run {run_id} still {rec['state']!r} after {timeout}s")
+            time.sleep(poll)
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.serve.client",
+        description="Talk to a running repro.serve simulation service.")
+    parser.add_argument("--url", default="http://127.0.0.1:8123",
+                        help="service base URL")
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    p = sub.add_parser("submit", help="submit a deck file as a run")
+    p.add_argument("deck", help="input deck file")
+    p.add_argument("--priority", type=int, default=0)
+    p.add_argument("--label", default="")
+    p.add_argument("--steps", type=int, default=None,
+                   help="override the deck's run.steps")
+    p.add_argument("--max-steps", type=int, default=None,
+                   help="per-run step budget")
+    p.add_argument("--max-wall-s", type=float, default=None,
+                   help="per-run wall budget (seconds)")
+    p.add_argument("--trace", action="store_true",
+                   help="record a Chrome trace alongside the metrics")
+    p.add_argument("--wait", action="store_true",
+                   help="poll until the run finishes; exit 1 unless done")
+    p.add_argument("--timeout", type=float, default=600.0,
+                   help="--wait poll budget (seconds)")
+
+    for name in ("status", "metrics", "cancel"):
+        q = sub.add_parser(name)
+        q.add_argument("id", help="run id (e.g. r00001)")
+    sub.add_parser("stats")
+    q = sub.add_parser("list")
+    q.add_argument("--state", default=None)
+
+    args = parser.parse_args(argv)
+    client = ServeClient(args.url)
+    try:
+        if args.cmd == "submit":
+            opts = dict(priority=args.priority, label=args.label,
+                        trace=args.trace)
+            if args.steps is not None:
+                opts["steps"] = args.steps
+            if args.max_steps is not None:
+                opts["max_steps"] = args.max_steps
+            if args.max_wall_s is not None:
+                opts["max_wall_s"] = args.max_wall_s
+            rec = client.submit_file(args.deck, **opts)
+            if args.wait:
+                rec = client.wait(rec["id"], timeout=args.timeout)
+                print(json.dumps(rec, indent=1))
+                return 0 if rec["state"] == "done" else 1
+            print(json.dumps(rec, indent=1))
+        elif args.cmd == "status":
+            print(json.dumps(client.status(args.id), indent=1))
+        elif args.cmd == "metrics":
+            print(json.dumps(client.metrics(args.id), indent=1))
+        elif args.cmd == "cancel":
+            print(json.dumps(client.cancel(args.id), indent=1))
+        elif args.cmd == "stats":
+            print(json.dumps(client.stats(), indent=1))
+        elif args.cmd == "list":
+            print(json.dumps(client.list(args.state), indent=1))
+    except (ServeError, urllib.error.URLError, TimeoutError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

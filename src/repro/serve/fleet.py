@@ -1,0 +1,246 @@
+"""The shared worker fleet: many runs, one supervised pool.
+
+One :class:`~repro.resilience.supervisor.SupervisedPoolExecutor` serves
+every run the service ever schedules — there is no per-run pool.  Whole
+runs travel as ``serve_run`` payloads (see :mod:`repro.serve.worker`)
+through the same dispatch machinery the solver's box kernels use, which
+buys the serving layer the supervisor's whole recovery ladder for free:
+
+- a worker that dies mid-run misses its deadline, the pool is respawned,
+  and the run is re-dispatched (the worker module resets the run's
+  artifacts first, so re-execution is idempotent);
+- after ``max_pool_restarts`` respawns the fleet degrades to inline
+  execution in the service process — runs finish slower instead of the
+  service dropping traffic;
+- a run that fails beyond the retry budget surfaces as
+  :class:`~repro.resilience.supervisor.TaskFailedError` and is recorded
+  ``failed`` in the registry; queued runs behind it are unaffected.
+
+A single pump thread owns all executor interaction (claim queued runs
+while lanes are free, deliver completions, reconcile failures), so the
+supervisor never sees concurrent callers.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Dict, Optional
+
+from repro.resilience.stats import ResilienceStats
+from repro.resilience.supervisor import TaskFailedError
+from repro.runtime.executors import make_executor, set_worker_context
+from repro.serve.registry import RunRegistry
+
+
+class _RunTask:
+    """The minimal task shape the executors expect (tid/name/payload)."""
+
+    __slots__ = ("tid", "name", "payload")
+
+    def __init__(self, tid: int, name: str, payload: dict) -> None:
+        self.tid = tid
+        self.name = name
+        self.payload = payload
+
+
+class WorkerFleet:
+    """Schedules registry runs onto one shared supervised pool."""
+
+    def __init__(self, registry: RunRegistry, cache_dir,
+                 workers: int = 2, task_retries: int = 1,
+                 backoff: float = 0.05, task_timeout: float = 300.0,
+                 max_pool_restarts: int = 3,
+                 executor: str = "pool") -> None:
+        self.registry = registry
+        self.cache_dir = str(cache_dir) if cache_dir else None
+        self.stats = ResilienceStats()
+        if executor not in ("pool", "inline"):
+            raise ValueError(
+                f"fleet executor must be 'pool' or 'inline', got {executor!r}")
+        self.executor_kind = executor
+        self.workers = max(1, int(workers))
+        self.executor = None
+        if executor == "pool":
+            # whole runs build their own kernel sets inside the worker, so
+            # the fork context carries no driver kernels — but it must be
+            # *set* or the pool refuses to start
+            import repro.runtime.executors as _ex
+
+            if _ex._WORKER_CTX is None:
+                set_worker_context(None, None)
+            self.executor = make_executor(
+                "pool", self.workers,
+                supervision=dict(task_retries=task_retries, backoff=backoff,
+                                 task_timeout=task_timeout,
+                                 max_pool_restarts=max_pool_restarts,
+                                 stats=self.stats))
+        #: tid -> run id for every dispatched, undelivered run
+        self._active: Dict[int, str] = {}
+        self._tid = 0
+        #: test hook: a fault marker planted on the next dispatched run
+        #: (e.g. ``("kill",)`` simulates a worker dying mid-run)
+        self.fault_next: Optional[tuple] = None
+        #: aggregated cache counters shipped back by finished runs
+        self.cache_totals: Dict[str, Dict[str, int]] = {}
+        self._done_runs = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> "WorkerFleet":
+        self._thread = threading.Thread(target=self._pump, daemon=True,
+                                        name="fleet-pump")
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None
+        if self.executor is not None:
+            self.executor.shutdown()
+        for tid, run_id in list(self._active.items()):
+            self.registry.finish(run_id, "failed", reason="fleet stopped")
+        self._active.clear()
+
+    @property
+    def degraded(self) -> bool:
+        return bool(getattr(self.executor, "degraded", False))
+
+    def lanes_busy(self) -> int:
+        return len(self._active)
+
+    # -- the pump thread ---------------------------------------------------
+    def _pump(self) -> None:
+        while not self._stop.is_set():
+            dispatched = self._fill_lanes()
+            if self.executor is None:
+                # inline fleet (no pool): _fill_lanes already ran the run
+                if not dispatched:
+                    time.sleep(0.02)
+                continue
+            if not self._active:
+                time.sleep(0.02)
+                continue
+            try:
+                self.executor.wait_one(timeout=0.25)
+            except queue.Empty:
+                continue
+            except TaskFailedError as exc:
+                # the supervisor dropped the entry before raising; find
+                # which run(s) it abandoned and record the failure
+                self._reconcile(str(exc))
+
+    def _fill_lanes(self) -> int:
+        """Claim queued runs while lanes are free; returns claims made."""
+        claimed = 0
+        limit = self.workers if self.executor is not None else 1
+        while len(self._active) < limit:
+            rec = self.registry.claim_next()
+            if rec is None:
+                break
+            self._dispatch_run(rec)
+            claimed += 1
+        return claimed
+
+    def _dispatch_run(self, rec) -> None:
+        payload = {
+            "op": "serve_run",
+            "run_id": rec.id,
+            "run_dir": str(self.registry.run_dir(rec.id)),
+            "cache_dir": self.cache_dir,
+            "steps": rec.steps,
+            "max_steps": rec.max_steps,
+            "max_wall_s": rec.max_wall_s,
+            "trace": rec.trace,
+        }
+        if self.fault_next is not None:
+            payload["_fault"] = self.fault_next
+            self.fault_next = None
+        self._tid += 1
+        task = _RunTask(self._tid, f"run:{rec.id}", payload)
+        self._active[task.tid] = rec.id
+        if self.executor is None:
+            self._run_task_inline(task)
+            return
+        try:
+            self.executor.submit(task, self._on_done)
+        except Exception as exc:  # pool refused (e.g. no fork): run inline
+            self._active.pop(task.tid, None)
+            self.registry.finish(rec.id, "failed",
+                                 reason=f"dispatch failed: {exc}")
+
+    def _run_task_inline(self, task: _RunTask) -> None:
+        """Inline fleet mode: execute the run in the service process."""
+        from repro.runtime.executors import _run_payload
+
+        try:
+            _run_payload(dict(task.payload))
+        except Exception as exc:
+            run_id = self._active.pop(task.tid, None)
+            if run_id is not None:
+                self.registry.finish(run_id, "failed", reason=str(exc))
+            return
+        self._on_done(task, 0, 0.0)
+
+    # -- completion handling ------------------------------------------------
+    def _on_done(self, task, worker, dur, lifecycle=None) -> None:
+        run_id = self._active.pop(task.tid, None)
+        if run_id is None:  # pragma: no cover - stale duplicate delivery
+            return
+        result = self.registry.read_result(run_id)
+        if result is None:
+            # the task "completed" but left no result: treat as failed
+            self.registry.finish(run_id, "failed",
+                                 reason="run finished without a result")
+            return
+        status = result.get("status", "failed")
+        state = status if status in ("done", "failed", "cancelled") else "failed"
+        self.registry.finish(run_id, state, reason=result.get("reason", ""),
+                             worker=int(worker), result=result)
+        self._merge_cache(result.get("cache") or {})
+        self._done_runs += 1
+
+    def _reconcile(self, reason: str) -> None:
+        """Mark runs the supervisor abandoned (retry budget spent) failed."""
+        inflight = getattr(self.executor, "_inflight", {})
+        for tid in [t for t in self._active if t not in inflight]:
+            run_id = self._active.pop(tid)
+            # a result may still exist if the final inline attempt wrote
+            # one before the supervisor gave up; prefer it
+            result = self.registry.read_result(run_id)
+            if result is not None and result.get("status") in (
+                    "done", "failed", "cancelled"):
+                self.registry.finish(run_id, result["status"],
+                                     reason=result.get("reason", ""),
+                                     result=result)
+                self._merge_cache(result.get("cache") or {})
+            else:
+                self.registry.finish(run_id, "failed", reason=reason)
+
+    def _merge_cache(self, counters: Dict[str, Dict[str, int]]) -> None:
+        for kind, c in counters.items():
+            acc = self.cache_totals.setdefault(kind, {"hits": 0, "misses": 0})
+            acc["hits"] += int(c.get("hits", 0))
+            acc["misses"] += int(c.get("misses", 0))
+
+    # -- stats -------------------------------------------------------------
+    def cache_hit_rate(self) -> Optional[float]:
+        h = sum(c["hits"] for c in self.cache_totals.values())
+        m = sum(c["misses"] for c in self.cache_totals.values())
+        return h / (h + m) if (h + m) else None
+
+    def snapshot(self) -> dict:
+        return {
+            "workers": self.workers,
+            "executor": self.executor_kind,
+            "busy": self.lanes_busy(),
+            "degraded": self.degraded,
+            "completed_runs": self._done_runs,
+            "resilience": {k: v for k, v in self.stats.counters.items() if v},
+            "cache": self.cache_totals,
+            "cache_hit_rate": self.cache_hit_rate(),
+        }

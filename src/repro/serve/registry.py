@@ -1,0 +1,245 @@
+"""Persistent run registry: one directory per run, states, priorities.
+
+Layout under the service root::
+
+    <root>/runs/<id>/
+        deck.inputs     the submitted input deck (verbatim text)
+        run.json        the registry record (atomically rewritten on change)
+        metrics.jsonl   streamed per-step observability record (the worker)
+        trace.json      Chrome trace (optional, worker)
+        result.json     terminal summary written by the worker
+        CANCEL          flag file: a running run polls this between steps
+
+The in-memory index is rebuilt from disk on startup, so a restarted
+service keeps its history; runs found in state ``running`` at startup
+were orphaned by a crash and are marked ``failed``.  All mutations are
+serialized under one lock (HTTP handler threads and the fleet pump
+share the registry) and every record change is persisted with an atomic
+replace, so a killed service never leaves a torn ``run.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+RUN_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+#: states a run can no longer leave
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+DECK_NAME = "deck.inputs"
+RECORD_NAME = "run.json"
+RESULT_NAME = "result.json"
+CANCEL_NAME = "CANCEL"
+
+
+@dataclass
+class RunRecord:
+    """One run's registry entry (the ``run.json`` schema)."""
+
+    id: str
+    state: str = "queued"
+    priority: int = 0
+    label: str = ""
+    #: service-enforced budgets (None = unbounded)
+    max_steps: Optional[int] = None
+    max_wall_s: Optional[float] = None
+    #: optional override of the deck's run.steps
+    steps: Optional[int] = None
+    #: record a Chrome trace alongside the metrics JSONL
+    trace: bool = False
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    #: why the run ended (budget message, error, "cancelled by request")
+    reason: str = ""
+    #: fleet lane that ran it (0 = inline/driver)
+    worker: Optional[int] = None
+    #: dispatch attempts (>1 means the supervisor re-submitted it)
+    attempts: int = 0
+    #: terminal summary from the worker's result.json
+    result: dict = field(default_factory=dict)
+
+    @property
+    def latency_s(self) -> Optional[float]:
+        """Submit-to-finish seconds (the load bench's end-to-end metric)."""
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at
+
+    def summary(self) -> dict:
+        out = asdict(self)
+        out["latency_s"] = self.latency_s
+        return out
+
+
+class RunRegistry:
+    """Thread-safe, disk-persistent index of every submitted run."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.runs_dir = self.root / "runs"
+        self.runs_dir.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._records: Dict[str, RunRecord] = {}
+        self._seq = 0
+        self._load_existing()
+
+    # -- persistence -------------------------------------------------------
+    def run_dir(self, run_id: str) -> Path:
+        return self.runs_dir / run_id
+
+    def _save(self, rec: RunRecord) -> None:
+        path = self.run_dir(rec.id) / RECORD_NAME
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        with os.fdopen(fd, "w") as f:
+            json.dump(asdict(rec), f, indent=1)
+        os.replace(tmp, path)
+
+    def _load_existing(self) -> None:
+        for d in sorted(self.runs_dir.iterdir()) if self.runs_dir.exists() else []:
+            rec_path = d / RECORD_NAME
+            if not d.is_dir() or not rec_path.exists():
+                continue
+            try:
+                data = json.loads(rec_path.read_text())
+                rec = RunRecord(**{k: v for k, v in data.items()
+                                   if k in RunRecord.__dataclass_fields__})
+            except (ValueError, TypeError):
+                continue  # torn or foreign file: skip, don't crash startup
+            if rec.state == "running":
+                # orphaned by a crashed/killed service process
+                rec.state = "failed"
+                rec.reason = "orphaned: service restarted mid-run"
+                rec.finished_at = time.time()
+                self._save(rec)
+            self._records[rec.id] = rec
+            try:
+                self._seq = max(self._seq, int(rec.id.lstrip("r")))
+            except ValueError:
+                pass
+
+    # -- submission --------------------------------------------------------
+    def submit(self, deck_text: str, priority: int = 0, label: str = "",
+               max_steps: Optional[int] = None,
+               max_wall_s: Optional[float] = None,
+               steps: Optional[int] = None, trace: bool = False) -> RunRecord:
+        """Queue one run: create its directory, persist deck + record."""
+        with self._lock:
+            self._seq += 1
+            rec = RunRecord(
+                id=f"r{self._seq:05d}", priority=int(priority),
+                label=str(label),
+                max_steps=int(max_steps) if max_steps else None,
+                max_wall_s=float(max_wall_s) if max_wall_s else None,
+                steps=int(steps) if steps else None, trace=bool(trace),
+                submitted_at=time.time())
+            d = self.run_dir(rec.id)
+            d.mkdir(parents=True, exist_ok=True)
+            (d / DECK_NAME).write_text(deck_text)
+            self._records[rec.id] = rec
+            self._save(rec)
+            return rec
+
+    # -- queries -----------------------------------------------------------
+    def get(self, run_id: str) -> Optional[RunRecord]:
+        with self._lock:
+            return self._records.get(run_id)
+
+    def list(self, state: Optional[str] = None) -> List[RunRecord]:
+        with self._lock:
+            recs = sorted(self._records.values(), key=lambda r: r.id)
+        if state is not None:
+            recs = [r for r in recs if r.state == state]
+        return recs
+
+    def counts(self) -> Dict[str, int]:
+        with self._lock:
+            out = {s: 0 for s in RUN_STATES}
+            for rec in self._records.values():
+                out[rec.state] = out.get(rec.state, 0) + 1
+            return out
+
+    # -- scheduling --------------------------------------------------------
+    def claim_next(self) -> Optional[RunRecord]:
+        """Atomically move the best queued run to ``running``.
+
+        Highest priority first; FIFO (submission order) within a
+        priority class.  Returns None when nothing is queued.
+        """
+        with self._lock:
+            queued = [r for r in self._records.values() if r.state == "queued"]
+            if not queued:
+                return None
+            rec = min(queued, key=lambda r: (-r.priority, r.id))
+            rec.state = "running"
+            rec.started_at = time.time()
+            rec.attempts += 1
+            self._save(rec)
+            return rec
+
+    def note_resubmit(self, run_id: str) -> None:
+        """Count a supervisor re-submission against the run."""
+        with self._lock:
+            rec = self._records.get(run_id)
+            if rec is not None:
+                rec.attempts += 1
+                self._save(rec)
+
+    # -- completion --------------------------------------------------------
+    def finish(self, run_id: str, state: str, reason: str = "",
+               worker: Optional[int] = None,
+               result: Optional[dict] = None) -> Optional[RunRecord]:
+        if state not in TERMINAL_STATES:
+            raise ValueError(f"finish() needs a terminal state, got {state!r}")
+        with self._lock:
+            rec = self._records.get(run_id)
+            if rec is None or rec.state in TERMINAL_STATES:
+                return rec
+            rec.state = state
+            rec.reason = reason
+            rec.worker = worker
+            rec.finished_at = time.time()
+            if result:
+                rec.result = result
+            self._save(rec)
+            return rec
+
+    # -- cancellation ------------------------------------------------------
+    def cancel(self, run_id: str) -> Optional[str]:
+        """Request cancellation; returns the resulting state or None.
+
+        A queued run is cancelled immediately; a running run gets its
+        ``CANCEL`` flag raised and finishes at the next step boundary; a
+        terminal run is left untouched (its state is returned).
+        """
+        with self._lock:
+            rec = self._records.get(run_id)
+            if rec is None:
+                return None
+            if rec.state == "queued":
+                rec.state = "cancelled"
+                rec.reason = "cancelled before start"
+                rec.finished_at = time.time()
+                self._save(rec)
+                return rec.state
+            if rec.state == "running":
+                (self.run_dir(run_id) / CANCEL_NAME).touch()
+                return "cancelling"
+            return rec.state
+
+    # -- worker-side results -----------------------------------------------
+    def read_result(self, run_id: str) -> Optional[dict]:
+        """The worker-written ``result.json``, or None if absent/torn."""
+        path = self.run_dir(run_id) / RESULT_NAME
+        try:
+            return json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None

@@ -1,0 +1,166 @@
+"""The ``serve_run`` payload: one whole simulation run in a fleet worker.
+
+The fleet dispatches runs — not individual box kernels — onto the shared
+:class:`~repro.resilience.supervisor.SupervisedPoolExecutor`; each task's
+payload names a run directory prepared by the registry and this module
+executes the deck inside the worker process:
+
+- the simulation itself is forced onto the ``serial`` executor: the
+  fleet *is* the parallelism layer (one run per worker lane), nested
+  pools would oversubscribe the node, and the serial path is what makes
+  a service-submitted run bitwise identical to the same deck run
+  through the CLI;
+- metrics stream to the run directory per step, so the HTTP layer can
+  report live progress while the run executes;
+- per-run step/wall budgets ride the watchdog
+  (:class:`~repro.resilience.watchdog.RunBudgetExceeded`) and the
+  registry's ``CANCEL`` flag is polled at every step boundary;
+- the terminal summary lands in ``result.json`` (atomic write).  A
+  simulation *failure* is a normal result — only worker death (crash,
+  kill) leaves no result, which is exactly the condition the supervisor
+  recovers by re-dispatching the task; :func:`execute_serve_run` resets
+  the run's artifacts first so a re-dispatch is idempotent.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import Optional
+
+from repro.serve.registry import CANCEL_NAME, DECK_NAME, RESULT_NAME
+
+#: artifacts reset before (re-)executing a run
+_RESETTABLE = ("metrics.jsonl", "trace.json", RESULT_NAME)
+
+
+class RunCancelled(RuntimeError):
+    """The run's CANCEL flag was raised; stop at the step boundary."""
+
+
+def _write_result(run_dir: Path, payload: dict) -> None:
+    """Atomically publish ``result.json`` (the run's terminal summary)."""
+    fd, tmp = tempfile.mkstemp(dir=run_dir, suffix=".tmp")
+    with os.fdopen(fd, "w") as f:
+        json.dump(payload, f, indent=1)
+    os.replace(tmp, run_dir / RESULT_NAME)
+
+
+def _reset_artifacts(run_dir: Path) -> None:
+    for name in _RESETTABLE:
+        try:
+            (run_dir / name).unlink()
+        except FileNotFoundError:
+            pass
+
+
+def execute_serve_run(spec: dict) -> None:
+    """Run one submitted deck to completion inside this process.
+
+    ``spec`` carries ``run_dir`` (holding ``deck.inputs``), the shared
+    ``cache_dir``, an optional ``steps`` override, per-run budgets
+    (``max_steps`` / ``max_wall_s``) and a ``trace`` flag.  Always
+    returns after writing ``result.json`` — simulation failures are
+    results, not exceptions.
+    """
+    run_dir = Path(spec["run_dir"])
+    _reset_artifacts(run_dir)
+    t0 = time.monotonic()
+    base = {"run_id": spec.get("run_id", run_dir.name), "pid": os.getpid()}
+    try:
+        summary = _run_deck(run_dir, spec)
+        summary.update(base)
+        summary["wall_s"] = time.monotonic() - t0
+        _write_result(run_dir, summary)
+    except (Exception, SystemExit) as exc:  # noqa: BLE001
+        # failures become results; SystemExit is how deck validation
+        # (e.g. an unknown case) reports errors and must not kill the lane
+        _write_result(run_dir, dict(
+            base, status="failed",
+            reason=f"{type(exc).__name__}: {exc}",
+            wall_s=time.monotonic() - t0))
+
+
+def _run_deck(run_dir: Path, spec: dict) -> dict:
+    from repro.cli import build_case
+    from repro.core.crocco import Crocco
+    from repro.io.inputs import InputDeck
+    from repro.resilience.watchdog import RunBudgetExceeded
+
+    deck = InputDeck.from_file(run_dir / DECK_NAME)
+    case = build_case(deck)
+    config = deck.to_crocco_config()
+    # the fleet is the parallelism layer: one run per worker lane, never
+    # a nested pool — which also keeps the trajectory bitwise identical
+    # to the CLI serial path
+    config.executor = "serial"
+    config.workers = None
+    if spec.get("cache_dir"):
+        config.cache_dir = str(spec["cache_dir"])
+    config.metrics_out = str(run_dir / "metrics.jsonl")
+    config.metrics_stream = True
+    if spec.get("trace"):
+        config.trace_out = str(run_dir / "trace.json")
+    if spec.get("max_steps") is not None:
+        config.step_budget = int(spec["max_steps"])
+    if spec.get("max_wall_s") is not None:
+        config.wall_budget_s = float(spec["max_wall_s"])
+
+    nsteps: Optional[int] = (int(spec["steps"]) if spec.get("steps")
+                             else deck.get_int("run.steps"))
+    t_end = deck.get_float("run.time")
+    if nsteps is None and t_end is None:
+        nsteps = 10
+    cancel_flag = run_dir / CANCEL_NAME
+
+    sim = Crocco(case, config)
+    status, reason = "done", ""
+    try:
+        sim.initialize()
+        try:
+            while True:
+                if nsteps is not None and sim.step_count >= nsteps:
+                    break
+                if t_end is not None and sim.time >= t_end:
+                    break
+                if cancel_flag.exists():
+                    raise RunCancelled("cancel requested")
+                sim.step()
+        except RunCancelled:
+            status, reason = "cancelled", "cancelled by request"
+        except RunBudgetExceeded as exc:
+            status, reason = "cancelled", f"budget exceeded: {exc}"
+        if status == "done":
+            # terminal artifacts only for completed runs
+            out = deck.get_str("run.plotfile")
+            if out:
+                from repro.io.plotfile import write_plotfile
+
+                write_plotfile(_under(run_dir, out), sim)
+            chk = deck.get_str("run.checkpoint")
+            if chk:
+                from repro.io.checkpoint import save_checkpoint
+
+                save_checkpoint(_under(run_dir, chk), sim)
+    finally:
+        sim.close()
+
+    cache = sim.case_cache
+    return {
+        "status": status,
+        "reason": reason,
+        "case": case.name,
+        "steps": sim.step_count,
+        "sim_time": sim.time,
+        "cache": cache.counters() if cache is not None else {},
+        "cache_hit_rate": cache.hit_rate() if cache is not None else None,
+    }
+
+
+def _under(run_dir: Path, path: str) -> str:
+    """Resolve a deck-relative output path inside the run directory."""
+    p = Path(path)
+    return str(p if p.is_absolute() else run_dir / p)

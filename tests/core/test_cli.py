@@ -139,3 +139,34 @@ run.restart = {chk}
     out = capsys.readouterr().out
     assert "restarted from" in out
     assert "step     4" in out
+
+
+class TestConfigValidation:
+    """Bad runtime configuration exits 2 with a message, not a traceback."""
+
+    DECK = """
+crocco.case = sod
+amr.n_cell = 32
+run.steps = 1
+"""
+
+    def test_nonnumeric_repro_workers_env(self, tmp_path, capsys,
+                                          monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "abc")
+        assert main([write_deck(tmp_path, self.DECK)]) == 2
+        err = capsys.readouterr().err
+        assert "REPRO_WORKERS must be an integer" in err
+        assert "Traceback" not in err
+
+    def test_zero_workers_in_deck(self, tmp_path, capsys):
+        deck = write_deck(tmp_path, self.DECK + "runtime.workers = 0\n")
+        assert main([deck]) == 2
+        err = capsys.readouterr().err
+        assert "workers must be >= 1" in err
+
+    def test_unknown_executor_in_deck(self, tmp_path, capsys):
+        deck = write_deck(tmp_path, self.DECK + "runtime.executor = turbo\n")
+        assert main([deck]) == 2
+        err = capsys.readouterr().err
+        assert "unknown executor 'turbo'" in err
+        assert "serial" in err  # the message lists the valid options

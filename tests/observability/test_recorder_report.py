@@ -194,3 +194,81 @@ def test_simulated_export_same_schema(tmp_path):
     text = format_report(events, other, records)
     assert "charged time" in text
     assert "FillPatch" in text
+
+
+class TestServiceRunDirectories:
+    """``python -m repro.report`` on a serve-layer run directory."""
+
+    def _record(self, state, **extra):
+        rec = {"id": "r00042", "state": state, "priority": 0,
+               "label": "svc-test", "reason": "", "result": None}
+        rec.update(extra)
+        return rec
+
+    def test_done_service_run_renders_with_header(self, recorded_run,
+                                                  tmp_path, capsys):
+        import json
+        import shutil
+
+        from repro.observability.report import main
+
+        run_dir, _sim, _bd = recorded_run
+        svc = tmp_path / "r00042"
+        svc.mkdir()
+        for name in ("trace.json", "metrics.jsonl"):
+            shutil.copy(run_dir / name, svc / name)
+        (svc / "run.json").write_text(json.dumps(self._record(
+            "done", latency_s=1.25,
+            result={"status": "done", "case": "dmr", "steps": 3})))
+        assert main([str(svc)]) == 0
+        out = capsys.readouterr().out
+        assert "service run r00042 [done]" in out
+        assert "label=svc-test" in out
+        assert "case=dmr" in out
+        assert "hot regions" in out  # the normal report still follows
+
+    def test_still_running_partial_stream_degrades(self, tmp_path, capsys):
+        import json
+
+        from repro.observability.report import main
+
+        svc = tmp_path / "r00042"
+        svc.mkdir()
+        (svc / "run.json").write_text(json.dumps(self._record("running")))
+        # the streaming writer was killed mid-line: no complete record yet
+        (svc / "metrics.jsonl").write_text('{"step": 1, "ti')
+        assert main([str(svc)]) == 2
+        err = capsys.readouterr().err
+        assert "still 'running'" in err
+        assert "retry once the run has progressed" in err
+        assert "Traceback" not in err
+
+    def test_queued_run_without_artifacts(self, tmp_path, capsys):
+        import json
+
+        from repro.observability.report import main
+
+        svc = tmp_path / "r00042"
+        svc.mkdir()
+        (svc / "run.json").write_text(json.dumps(self._record("queued")))
+        assert main([str(svc)]) == 2
+        err = capsys.readouterr().err
+        assert "still 'queued'" in err
+        assert "Traceback" not in err
+
+    def test_torn_run_record_is_ignored(self, recorded_run, tmp_path,
+                                        capsys):
+        import shutil
+
+        from repro.observability.report import main
+
+        run_dir, _sim, _bd = recorded_run
+        svc = tmp_path / "r00042"
+        svc.mkdir()
+        for name in ("trace.json", "metrics.jsonl"):
+            shutil.copy(run_dir / name, svc / name)
+        (svc / "run.json").write_text('{"id": "r000')  # torn mid-write
+        assert main([str(svc)]) == 0  # reported as a plain run directory
+        out = capsys.readouterr().out
+        assert "service run" not in out
+        assert "hot regions" in out

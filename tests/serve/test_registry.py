@@ -1,0 +1,91 @@
+"""Run registry: states, priorities, persistence, cancellation."""
+
+import json
+
+import pytest
+
+from repro.serve.registry import RUN_STATES, RunRegistry
+
+DECK = "crocco.case = sod\nrun.steps = 2\n"
+
+
+@pytest.fixture
+def reg(tmp_path):
+    return RunRegistry(tmp_path / "svc")
+
+
+def test_submit_persists_deck_and_record(reg):
+    rec = reg.submit(DECK, priority=3, label="hello")
+    d = reg.run_dir(rec.id)
+    assert (d / "deck.inputs").read_text() == DECK
+    on_disk = json.loads((d / "run.json").read_text())
+    assert on_disk["state"] == "queued"
+    assert on_disk["priority"] == 3
+    assert on_disk["label"] == "hello"
+    assert rec.state in RUN_STATES
+
+
+def test_claim_order_priority_then_fifo(reg):
+    low1 = reg.submit(DECK, priority=0)
+    high = reg.submit(DECK, priority=5)
+    low2 = reg.submit(DECK, priority=0)
+    order = [reg.claim_next().id for _ in range(3)]
+    assert order == [high.id, low1.id, low2.id]
+    assert reg.claim_next() is None
+    assert reg.counts()["running"] == 3
+
+
+def test_finish_is_terminal_and_idempotent(reg):
+    rec = reg.submit(DECK)
+    reg.claim_next()
+    done = reg.finish(rec.id, "done", worker=2, result={"steps": 2})
+    assert done.state == "done" and done.latency_s is not None
+    # a late duplicate completion cannot overwrite the terminal state
+    again = reg.finish(rec.id, "failed", reason="late duplicate")
+    assert again.state == "done"
+    with pytest.raises(ValueError):
+        reg.finish(rec.id, "running")
+
+
+def test_cancel_queued_vs_running(reg):
+    queued = reg.submit(DECK)
+    running = reg.submit(DECK, priority=9)
+    reg.claim_next()  # claims the high-priority one
+    assert reg.cancel(queued.id) == "cancelled"
+    assert reg.get(queued.id).state == "cancelled"
+    assert reg.cancel(running.id) == "cancelling"
+    assert (reg.run_dir(running.id) / "CANCEL").exists()
+    assert reg.get(running.id).state == "running"  # until the worker stops
+    assert reg.cancel("r99999") is None
+
+
+def test_restart_marks_orphaned_running_runs_failed(tmp_path):
+    reg = RunRegistry(tmp_path / "svc")
+    rec = reg.submit(DECK)
+    reg.claim_next()
+    assert reg.get(rec.id).state == "running"
+    # a fresh registry over the same root = service restarted mid-run
+    reg2 = RunRegistry(tmp_path / "svc")
+    back = reg2.get(rec.id)
+    assert back.state == "failed"
+    assert "orphaned" in back.reason
+    # sequence numbering continues past reloaded runs
+    newer = reg2.submit(DECK)
+    assert newer.id > rec.id
+
+
+def test_restart_skips_torn_record(tmp_path):
+    reg = RunRegistry(tmp_path / "svc")
+    rec = reg.submit(DECK)
+    (reg.run_dir(rec.id) / "run.json").write_text('{"id": "r000')  # torn
+    reg2 = RunRegistry(tmp_path / "svc")
+    assert reg2.get(rec.id) is None  # skipped, not crashed
+
+
+def test_read_result_absent_and_torn(reg):
+    rec = reg.submit(DECK)
+    assert reg.read_result(rec.id) is None
+    (reg.run_dir(rec.id) / "result.json").write_text("{oops")
+    assert reg.read_result(rec.id) is None
+    (reg.run_dir(rec.id) / "result.json").write_text('{"status": "done"}')
+    assert reg.read_result(rec.id) == {"status": "done"}

@@ -1,0 +1,163 @@
+"""Service chaos benchmark: what recovery costs, in seconds.
+
+Three phases, each recording gate-compatible rows to BENCH_results.json
+(seconds regress when they rise, fractions when they fall — see
+``tools/bench_gate.py``):
+
+- **chaos throughput**: a batch of decks under a seeded service fault
+  plan (worker kill + corrupted cache entry).  Every run must still
+  complete exactly once; the wall time is the price of recovery.
+- **crash recovery**: generation 1 is abandoned mid-run (records left
+  ``running``, as ``kill -9`` would); the row is the wall time for a
+  fresh registry + fleet to reconcile the orphans and finish the
+  interrupted work from its autocheckpoints.
+- **saturation survival**: a tiny admission window hammered by
+  retrying clients; the row is the fraction of submissions that end
+  ``done`` exactly once despite the 429 shedding (must stay 1.0).
+"""
+
+import multiprocessing
+import threading
+import time
+
+import pytest
+
+from benchmarks._record import record
+from benchmarks.conftest import FULL, table
+from repro.serve.chaos import ServiceFaultInjector
+from repro.serve.client import ServeClient
+from repro.serve.fleet import WorkerFleet
+from repro.serve.registry import RunRegistry
+from repro.serve.server import make_server
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="fleet pool needs the fork start method",
+)
+
+NRUNS = 12 if FULL else 8
+WORKERS = 2
+TASK_TIMEOUT_S = 8.0
+TIMEOUT_S = 600
+
+DECK = "crocco.case = sod\namr.n_cell = 32\nrun.steps = 4\n"
+DECK_LONG = "crocco.case = sod\namr.n_cell = 32\nrun.steps = 400\n"
+
+
+def _drain(reg, run_ids, timeout=TIMEOUT_S):
+    t_end = time.monotonic() + timeout
+    pending = set(run_ids)
+    while pending and time.monotonic() < t_end:
+        pending -= {rid for rid in pending
+                    if reg.get(rid).state in ("done", "failed", "cancelled")}
+        if pending:
+            time.sleep(0.05)
+    assert not pending, f"{len(pending)} runs never finished"
+
+
+def test_serve_chaos_recovery(tmp_path):
+    rows = []
+
+    # -- phase 1: batch throughput under a seeded fault plan ---------------
+    chaos = ServiceFaultInjector.from_plan(
+        "seed=5 kill_worker@2:1 torn_record@3 corrupt_cache@4")
+    reg = RunRegistry(tmp_path / "p1")
+    fleet = WorkerFleet(reg, tmp_path / "p1" / "cache", workers=WORKERS,
+                        task_timeout=TASK_TIMEOUT_S, chaos=chaos).start()
+    t0 = time.monotonic()
+    recs = [reg.submit(DECK) for _ in range(NRUNS)]
+    try:
+        _drain(reg, [r.id for r in recs])
+    finally:
+        fleet.stop()
+    chaos_wall = time.monotonic() - t0
+    states = [reg.get(r.id).state for r in recs]
+    assert states.count("done") == NRUNS, (
+        f"chaos batch lost runs: {states.count('done')}/{NRUNS}")
+    # zero duplicates: one registry record per submission, each done once
+    assert len({r.id for r in recs}) == NRUNS
+    assert not chaos.pending(), "planned faults never fired"
+    rows.append(("chaos batch wall [s]", f"{chaos_wall:.2f}"))
+    record("serve_chaos", "chaos_wall", chaos_wall, "s",
+           runs=NRUNS, workers=WORKERS,
+           plan="kill_worker@2:1 torn_record@3 corrupt_cache@4",
+           resumes=fleet.resumes, cache_evictions=fleet.cache_evictions)
+
+    # -- phase 2: crash recovery wall (abandon -> reconcile -> resume) -----
+    reg1 = RunRegistry(tmp_path / "p2")
+    fleet1 = WorkerFleet(reg1, tmp_path / "p2" / "cache", workers=1,
+                         task_timeout=TASK_TIMEOUT_S).start()
+    victim = reg1.submit(DECK_LONG)
+    short = [reg1.submit(DECK) for _ in range(2)]
+    autochk = reg1.run_dir(victim.id) / "autochk"
+    t_end = time.monotonic() + TIMEOUT_S
+    while not (autochk.is_dir() and any(autochk.iterdir())):
+        assert time.monotonic() < t_end, "victim never checkpointed"
+        time.sleep(0.02)
+    fleet1.stop(abandon=True)  # the crash: records left ``running``
+
+    t0 = time.monotonic()
+    reg2 = RunRegistry(tmp_path / "p2")  # restart: orphan reconciliation
+    fleet2 = WorkerFleet(reg2, tmp_path / "p2" / "cache", workers=1,
+                         task_timeout=TASK_TIMEOUT_S).start()
+    try:
+        _drain(reg2, [victim.id] + [r.id for r in short])
+    finally:
+        fleet2.stop()
+    recovery_wall = time.monotonic() - t0
+    assert reg2.orphans_requeued >= 1
+    result = reg2.get(victim.id).result
+    assert result["status"] == "done" and result["steps"] == 400
+    replayed = int(result.get("replayed_steps", 0))
+    assert replayed <= 1, f"resume replayed {replayed} steps"
+    rows.append(("crash recovery wall [s]", f"{recovery_wall:.2f}"))
+    rows.append(("replayed steps", str(replayed)))
+    record("serve_chaos", "recovery_wall", recovery_wall, "s",
+           orphans=reg2.orphans_requeued, replayed_steps=replayed,
+           resumed=bool(result.get("resumed")))
+
+    # -- phase 3: saturation survival (shed + retry, zero loss) ------------
+    httpd = make_server(tmp_path / "p3", workers=1, executor="inline",
+                        max_queue_depth=2)
+    threading.Thread(target=httpd.serve_forever, daemon=True).start()
+    host, port = httpd.server_address[:2]
+    url = f"http://{host}:{port}"
+    submissions = NRUNS
+    accepted, errors = [], []
+
+    def submitter(i):
+        client = ServeClient(url, retries=10, backoff_base=0.05,
+                             backoff_cap=0.5)
+        try:
+            accepted.append(client.submit(deck=DECK, label=f"sat{i}")["id"])
+        except Exception as exc:  # pragma: no cover - the failure signal
+            errors.append(exc)
+
+    t0 = time.monotonic()
+    threads = [threading.Thread(target=submitter, args=(i,))
+               for i in range(submissions)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(TIMEOUT_S)
+    try:
+        assert not errors, f"submissions lost under saturation: {errors[:3]}"
+        _drain(httpd.service.registry, accepted)
+    finally:
+        httpd.service.stop()
+        httpd.shutdown()
+        httpd.server_close()
+    saturation_wall = time.monotonic() - t0
+    unique_done = {rid for rid in accepted
+                   if httpd.service.registry.get(rid).state == "done"}
+    survival = len(unique_done) / submissions
+    assert len(accepted) == len(set(accepted)) == submissions
+    rows.append(("saturation survival", f"{survival:.1%}"))
+    rows.append(("requests shed (429)", str(httpd.service.shed_requests)))
+    rows.append(("saturation wall [s]", f"{saturation_wall:.2f}"))
+    record("serve_chaos", "saturation_survival", survival, "fraction",
+           submissions=submissions, shed=httpd.service.shed_requests,
+           max_queue_depth=2)
+
+    table(f"Service chaos — {NRUNS} decks, {WORKERS} workers",
+          ("metric", "value"), rows)

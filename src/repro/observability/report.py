@@ -569,6 +569,32 @@ def service_header(rec: dict) -> str:
     return "  ".join(parts)
 
 
+def service_recovery_section(rec: dict) -> Optional[str]:
+    """Recovery accounting for a service run; None when uneventful.
+
+    Rendered only when the run's lifecycle shows chaos survived —
+    re-dispatches, requeues (drain/orphan reconciliation), a checkpoint
+    resume, or evicted cache corruption — so fault-free runs keep their
+    report unchanged.
+    """
+    result = rec.get("result") or {}
+    attempts = int(rec.get("attempts", 0) or 0)
+    requeues = int(rec.get("requeues", 0) or 0)
+    resumed = bool(result.get("resumed"))
+    evictions = int(result.get("cache_evictions", 0) or 0)
+    if attempts <= 1 and not requeues and not resumed and not evictions:
+        return None
+    lines = ["-- service recovery --"]
+    lines.append(f"  dispatch attempts = {attempts}, requeues = {requeues}")
+    if resumed:
+        lines.append(
+            f"  resumed from checkpoint at step {result.get('resume_step')} "
+            f"(replayed {int(result.get('replayed_steps', 0) or 0)} step(s))")
+    if evictions:
+        lines.append(f"  corrupt cache entries evicted = {evictions}")
+    return "\n".join(lines)
+
+
 def load_run(run_dir: Optional[str] = None, trace: Optional[str] = None,
              metrics: Optional[str] = None):
     """Resolve and load a run's artifacts; returns (events, other, records)."""
@@ -639,6 +665,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         if service is not None:
             print(service_header(service))
+            recovery = service_recovery_section(service)
+            if recovery is not None:
+                print(recovery)
         print(format_report(events, other, records, top=args.top))
     except BrokenPipeError:  # e.g. piped into head
         import os

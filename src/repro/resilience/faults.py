@@ -101,8 +101,13 @@ class FaultSpec:
         return out
 
 
-def parse_plan(text: str) -> tuple:
-    """Parse a plan string; returns ``(specs, seed)``."""
+def parse_plan(text: str, kinds: tuple = KINDS) -> tuple:
+    """Parse a plan string; returns ``(specs, seed)``.
+
+    ``kinds`` is the vocabulary to validate against — the solver-level
+    default here, or :data:`repro.serve.chaos.SERVICE_KINDS` when the
+    same grammar drives the service chaos harness.
+    """
     specs: List[FaultSpec] = []
     seed = 0
     for tok in re.split(r"[;\s]+", text.strip()):
@@ -116,8 +121,8 @@ def parse_plan(text: str) -> tuple:
             raise ValueError(f"bad fault token {tok!r} "
                              "(expected kind@step[.stage][:arg])")
         kind = m.group("kind")
-        if kind not in KINDS:
-            raise ValueError(f"unknown fault kind {kind!r}; options {KINDS}")
+        if kind not in kinds:
+            raise ValueError(f"unknown fault kind {kind!r}; options {kinds}")
         specs.append(FaultSpec(
             kind=kind,
             step=int(m.group("step")),

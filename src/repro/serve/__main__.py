@@ -13,7 +13,9 @@ Then submit decks with ``python -m repro.serve.client`` or plain curl::
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
+import threading
 from typing import Optional
 
 from repro.serve.server import ServiceHandler, make_server
@@ -39,6 +41,16 @@ def main(argv: Optional[list] = None) -> int:
                              "lost to a dead worker")
     parser.add_argument("--task-retries", type=int, default=1,
                         help="re-dispatch budget for lost/failed runs")
+    parser.add_argument("--max-queue-depth", type=int, default=256,
+                        help="shed submissions with 429 once this many "
+                             "runs are queued (0 = unbounded)")
+    parser.add_argument("--autocheckpoint-every", type=int, default=1,
+                        help="per-run checkpoint cadence in steps; a "
+                             "re-dispatched run resumes from its last "
+                             "checkpoint (0 = off, full replay)")
+    parser.add_argument("--drain-grace", type=float, default=30.0,
+                        help="seconds SIGTERM waits for in-flight runs "
+                             "to drain to checkpoints before exit")
     parser.add_argument("--verbose", action="store_true",
                         help="log each HTTP request")
     args = parser.parse_args(argv)
@@ -51,11 +63,30 @@ def main(argv: Optional[list] = None) -> int:
     httpd = make_server(args.root, port=args.port, host=args.host,
                         workers=args.workers, executor=args.executor,
                         task_timeout=args.task_timeout,
-                        task_retries=args.task_retries)
+                        task_retries=args.task_retries,
+                        max_queue_depth=args.max_queue_depth,
+                        autocheckpoint_every=args.autocheckpoint_every)
     host, port = httpd.server_address[:2]
     print(f"repro.serve listening on http://{host}:{port} "
           f"(root {args.root}, {args.workers} worker(s), "
           f"{args.executor} fleet)", flush=True)
+
+    def _graceful(signum, frame):
+        # SIGTERM = graceful drain: every in-flight run checkpoints and
+        # requeues, then the accept loop stops.  The drain happens off
+        # the signal frame so /healthz and status polls keep answering
+        # (reporting "draining") while lanes empty.
+        print("repro.serve: SIGTERM — draining in-flight runs to "
+              "checkpoints", flush=True)
+
+        def _do():
+            httpd.service.drain(  # type: ignore[attr-defined]
+                grace_s=args.drain_grace)
+            httpd.shutdown()
+
+        threading.Thread(target=_do, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _graceful)
     try:
         httpd.serve_forever()
     except KeyboardInterrupt:
@@ -63,6 +94,8 @@ def main(argv: Optional[list] = None) -> int:
     finally:
         httpd.service.stop()  # type: ignore[attr-defined]
         httpd.server_close()
+    print("repro.serve: stopped (queued runs resume on next start)",
+          flush=True)
     return 0
 
 

@@ -91,6 +91,8 @@ class CaseCache:
         self.root = Path(root)
         self.hits: Dict[str, int] = {k: 0 for k in CACHE_KINDS}
         self.misses: Dict[str, int] = {k: 0 for k in CACHE_KINDS}
+        #: torn/unreadable entries deleted from the store (per kind)
+        self.evictions: Dict[str, int] = {k: 0 for k in CACHE_KINDS}
 
     # -- generic machinery -------------------------------------------------
     def _path(self, kind: str, key_hash: str) -> Path:
@@ -120,13 +122,24 @@ class CaseCache:
                 self.hits[kind] = self.hits.get(kind, 0) + 1
                 return arrays
             except (OSError, ValueError, zipfile.BadZipFile):
-                # a torn or unreadable entry is treated as a miss and
-                # overwritten with a freshly computed one
-                pass
+                # a torn or unreadable entry is *evicted*, not just
+                # skipped: deleting it frees the disk it pins and lets
+                # the recompute below republish a clean file (a skipped
+                # entry would force this key to miss forever)
+                self._evict(kind, path)
         arrays = compute()
         self.misses[kind] = self.misses.get(kind, 0) + 1
         self._store(path, arrays)
         return arrays
+
+    def _evict(self, kind: str, path: Path) -> None:
+        """Delete one corrupt entry; losing a concurrent race is fine
+        (another worker already replaced or removed it)."""
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        self.evictions[kind] = self.evictions.get(kind, 0) + 1
 
     def _store(self, path: Path, arrays: Dict[str, np.ndarray]) -> None:
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -142,13 +155,21 @@ class CaseCache:
 
     # -- counters ----------------------------------------------------------
     def counters(self) -> Dict[str, Dict[str, int]]:
-        """``{kind: {"hits": n, "misses": n}}`` for every kind touched."""
+        """``{kind: {"hits", "misses"[, "evictions"]}}`` per kind touched."""
         out: Dict[str, Dict[str, int]] = {}
-        for kind in sorted(set(self.hits) | set(self.misses)):
+        for kind in sorted(set(self.hits) | set(self.misses)
+                           | set(self.evictions)):
             h, m = self.hits.get(kind, 0), self.misses.get(kind, 0)
-            if h or m:
+            e = self.evictions.get(kind, 0)
+            if h or m or e:
                 out[kind] = {"hits": h, "misses": m}
+                if e:
+                    out[kind]["evictions"] = e
         return out
+
+    def eviction_count(self) -> int:
+        """Total corrupt entries evicted across kinds."""
+        return sum(self.evictions.values())
 
     def hit_rate(self) -> Optional[float]:
         """Overall hit fraction across kinds (None before any lookup)."""

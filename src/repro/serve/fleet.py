@@ -7,14 +7,20 @@ through the same dispatch machinery the solver's box kernels use, which
 buys the serving layer the supervisor's whole recovery ladder for free:
 
 - a worker that dies mid-run misses its deadline, the pool is respawned,
-  and the run is re-dispatched (the worker module resets the run's
-  artifacts first, so re-execution is idempotent);
+  and the run is re-dispatched — where it **resumes from its last valid
+  autocheckpoint** (the worker module checkpoints every
+  ``autocheckpoint_every`` steps into the run directory), so a lost
+  worker costs at most the replay of one step instead of the whole run;
 - after ``max_pool_restarts`` respawns the fleet degrades to inline
   execution in the service process — runs finish slower instead of the
   service dropping traffic;
 - a run that fails beyond the retry budget surfaces as
   :class:`~repro.resilience.supervisor.TaskFailedError` and is recorded
-  ``failed`` in the registry; queued runs behind it are unaffected.
+  ``failed`` in the registry; queued runs behind it are unaffected;
+- :meth:`WorkerFleet.drain` flags every in-flight run to checkpoint and
+  suspend at its next step boundary, then requeues it — the graceful
+  half of a service restart (the crash half is the registry's orphan
+  reconciliation).
 
 A single pump thread owns all executor interaction (claim queued runs
 while lanes are free, deliver completions, reconcile failures), so the
@@ -52,7 +58,9 @@ class WorkerFleet:
                  workers: int = 2, task_retries: int = 1,
                  backoff: float = 0.05, task_timeout: float = 300.0,
                  max_pool_restarts: int = 3,
-                 executor: str = "pool") -> None:
+                 executor: str = "pool",
+                 autocheckpoint_every: int = 1,
+                 chaos=None) -> None:
         self.registry = registry
         self.cache_dir = str(cache_dir) if cache_dir else None
         self.stats = ResilienceStats()
@@ -61,6 +69,11 @@ class WorkerFleet:
                 f"fleet executor must be 'pool' or 'inline', got {executor!r}")
         self.executor_kind = executor
         self.workers = max(1, int(workers))
+        #: per-run checkpoint cadence shipped with every dispatch (1 =
+        #: every step, bounding a resume's replay to one step; 0 = off)
+        self.autocheckpoint_every = int(autocheckpoint_every)
+        #: optional :class:`repro.serve.chaos.ServiceFaultInjector`
+        self.chaos = chaos
         self.executor = None
         if executor == "pool":
             # whole runs build their own kernel sets inside the worker, so
@@ -79,12 +92,20 @@ class WorkerFleet:
         #: tid -> run id for every dispatched, undelivered run
         self._active: Dict[int, str] = {}
         self._tid = 0
+        #: dispatch counter (chaos plans address "the Nth dispatched run")
+        self._dispatches = 0
         #: test hook: a fault marker planted on the next dispatched run
         #: (e.g. ``("kill",)`` simulates a worker dying mid-run)
         self.fault_next: Optional[tuple] = None
         #: aggregated cache counters shipped back by finished runs
         self.cache_totals: Dict[str, Dict[str, int]] = {}
+        self.cache_evictions = 0
+        #: recovery accounting aggregated from finished runs' results
+        self.resumes = 0
+        self.replayed_steps = 0
+        self.suspended_runs = 0
         self._done_runs = 0
+        self._draining = False
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
 
@@ -95,20 +116,52 @@ class WorkerFleet:
         self._thread.start()
         return self
 
-    def stop(self, timeout: float = 10.0) -> None:
+    def drain(self, grace_s: float = 30.0) -> bool:
+        """Flag every in-flight run to checkpoint + suspend; wait for it.
+
+        New claims stop immediately; each running run sees its ``DRAIN``
+        flag at the next step boundary, saves a crash-safe checkpoint
+        into its run directory and reports ``suspended``, which the pump
+        maps back to ``queued`` (resumable by the next service
+        generation).  Returns True when every lane emptied within the
+        grace window.
+        """
+        self._draining = True
+        for run_id in list(self._active.values()):
+            self.registry.request_drain(run_id)
+        t_end = time.monotonic() + grace_s
+        while self._active and time.monotonic() < t_end:
+            time.sleep(0.02)
+        return not self._active
+
+    def stop(self, timeout: float = 10.0, abandon: bool = False) -> None:
+        """Shut the fleet down.
+
+        In-flight runs are requeued (they resume from their last
+        checkpoint when a fleet next picks them up) — unless ``abandon``
+        is set, the chaos harness's stand-in for a hard service crash:
+        records are left ``running`` on disk exactly as ``kill -9``
+        would, for the next generation's orphan reconciliation to find.
+        """
         self._stop.set()
         if self._thread is not None:
             self._thread.join(timeout)
             self._thread = None
         if self.executor is not None:
             self.executor.shutdown()
-        for tid, run_id in list(self._active.items()):
-            self.registry.finish(run_id, "failed", reason="fleet stopped")
+        if not abandon:
+            for tid, run_id in list(self._active.items()):
+                self.registry.requeue(
+                    run_id, reason="fleet stopped mid-run; requeued")
         self._active.clear()
 
     @property
     def degraded(self) -> bool:
         return bool(getattr(self.executor, "degraded", False))
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
 
     def lanes_busy(self) -> int:
         return len(self._active)
@@ -136,6 +189,8 @@ class WorkerFleet:
 
     def _fill_lanes(self) -> int:
         """Claim queued runs while lanes are free; returns claims made."""
+        if self._draining:
+            return 0
         claimed = 0
         limit = self.workers if self.executor is not None else 1
         while len(self._active) < limit:
@@ -156,10 +211,18 @@ class WorkerFleet:
             "max_steps": rec.max_steps,
             "max_wall_s": rec.max_wall_s,
             "trace": rec.trace,
+            "autocheckpoint_every": self.autocheckpoint_every,
         }
+        self._dispatches += 1
         if self.fault_next is not None:
             payload["_fault"] = self.fault_next
             self.fault_next = None
+        elif self.chaos is not None:
+            fault = self.chaos.fault_for_dispatch(
+                self._dispatches, rec.id, registry=self.registry,
+                cache_dir=self.cache_dir)
+            if fault is not None:
+                payload["_fault"] = fault
         self._tid += 1
         task = _RunTask(self._tid, f"run:{rec.id}", payload)
         self._active[task.tid] = rec.id
@@ -198,10 +261,16 @@ class WorkerFleet:
                                  reason="run finished without a result")
             return
         status = result.get("status", "failed")
+        if status == "suspended":
+            # drained to a checkpoint: back to the queue, resumable
+            self.suspended_runs += 1
+            self._merge_recovery(result)
+            self.registry.requeue(run_id, reason=result.get("reason", ""))
+            return
         state = status if status in ("done", "failed", "cancelled") else "failed"
         self.registry.finish(run_id, state, reason=result.get("reason", ""),
                              worker=int(worker), result=result)
-        self._merge_cache(result.get("cache") or {})
+        self._merge_recovery(result)
         self._done_runs += 1
 
     def _reconcile(self, reason: str) -> None:
@@ -217,15 +286,26 @@ class WorkerFleet:
                 self.registry.finish(run_id, result["status"],
                                      reason=result.get("reason", ""),
                                      result=result)
-                self._merge_cache(result.get("cache") or {})
+                self._merge_recovery(result)
             else:
                 self.registry.finish(run_id, "failed", reason=reason)
 
-    def _merge_cache(self, counters: Dict[str, Dict[str, int]]) -> None:
-        for kind, c in counters.items():
+    def _merge_recovery(self, result: dict) -> None:
+        """Fold one result's cache + recovery counters into the totals."""
+        for kind, c in (result.get("cache") or {}).items():
             acc = self.cache_totals.setdefault(kind, {"hits": 0, "misses": 0})
             acc["hits"] += int(c.get("hits", 0))
             acc["misses"] += int(c.get("misses", 0))
+        self.cache_evictions += int(result.get("cache_evictions", 0))
+        if result.get("resumed"):
+            self.resumes += 1
+            self.replayed_steps += int(result.get("replayed_steps", 0))
+            # a resume proves the supervisor re-dispatched the run (the
+            # supervisor itself offers no resubmit hook): reflect the
+            # extra attempt on the record
+            run_id = result.get("run_id")
+            if run_id:
+                self.registry.note_resubmit(run_id)
 
     # -- stats -------------------------------------------------------------
     def cache_hit_rate(self) -> Optional[float]:
@@ -239,8 +319,13 @@ class WorkerFleet:
             "executor": self.executor_kind,
             "busy": self.lanes_busy(),
             "degraded": self.degraded,
+            "draining": self._draining,
             "completed_runs": self._done_runs,
+            "resumes": self.resumes,
+            "replayed_steps": self.replayed_steps,
+            "suspended_runs": self.suspended_runs,
             "resilience": {k: v for k, v in self.stats.counters.items() if v},
             "cache": self.cache_totals,
+            "cache_evictions": self.cache_evictions,
             "cache_hit_rate": self.cache_hit_rate(),
         }

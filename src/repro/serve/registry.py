@@ -12,10 +12,20 @@ Layout under the service root::
 
 The in-memory index is rebuilt from disk on startup, so a restarted
 service keeps its history; runs found in state ``running`` at startup
-were orphaned by a crash and are marked ``failed``.  All mutations are
-serialized under one lock (HTTP handler threads and the fleet pump
-share the registry) and every record change is persisted with an atomic
-replace, so a killed service never leaves a torn ``run.json``.
+were orphaned by a crash and are **requeued** (promoted back to
+resumable work — the worker resumes them from their last valid
+autocheckpoint) rather than failed.  All mutations are serialized under
+one lock (HTTP handler threads and the fleet pump share the registry)
+and every record change is persisted with an atomic replace, so a
+killed service never leaves a torn ``run.json``.  Torn records from
+*outside* the atomic path (filesystem damage, the chaos harness) are
+salvaged from the run directory's ground truth — the deck plus
+``result.json`` — so even a mangled index completes every run exactly
+once.
+
+Submissions may carry an **idempotency key**: re-submitting the same
+key returns the already-registered run instead of creating a duplicate,
+which is what makes client-side retry of a torn/timed-out POST safe.
 """
 
 from __future__ import annotations
@@ -38,6 +48,9 @@ DECK_NAME = "deck.inputs"
 RECORD_NAME = "run.json"
 RESULT_NAME = "result.json"
 CANCEL_NAME = "CANCEL"
+#: flag file: a running run drains to a checkpoint at the next step
+#: boundary and reports ``suspended`` (graceful shutdown / drain)
+DRAIN_NAME = "DRAIN"
 
 
 @dataclass
@@ -64,6 +77,11 @@ class RunRecord:
     worker: Optional[int] = None
     #: dispatch attempts (>1 means the supervisor re-submitted it)
     attempts: int = 0
+    #: client-supplied dedupe token (same key = same run, never two)
+    idempotency_key: str = ""
+    #: times this run was promoted back to ``queued`` (drain, orphan
+    #: reconciliation after a crashed service, fleet shutdown)
+    requeues: int = 0
     #: terminal summary from the worker's result.json
     result: dict = field(default_factory=dict)
 
@@ -89,7 +107,17 @@ class RunRegistry:
         self.runs_dir.mkdir(parents=True, exist_ok=True)
         self._lock = threading.Lock()
         self._records: Dict[str, RunRecord] = {}
+        self._by_key: Dict[str, str] = {}
         self._seq = 0
+        #: orphaned ``running`` runs promoted back to ``queued`` at startup
+        self.orphans_requeued = 0
+        #: torn run.json files rebuilt from the run directory at startup
+        self.torn_records_salvaged = 0
+        #: torn/unparsable run.json files skipped at startup (no deck to
+        #: salvage from)
+        self.torn_records_skipped = 0
+        #: submissions answered from the idempotency-key index
+        self.deduped_submissions = 0
         self._load_existing()
 
     # -- persistence -------------------------------------------------------
@@ -113,26 +141,82 @@ class RunRegistry:
                 rec = RunRecord(**{k: v for k, v in data.items()
                                    if k in RunRecord.__dataclass_fields__})
             except (ValueError, TypeError):
-                continue  # torn or foreign file: skip, don't crash startup
+                # torn record: rebuild it from the run directory so the
+                # run still completes exactly once (deck + result.json
+                # carry enough truth); skip only when there is nothing
+                # to salvage from
+                rec = self._salvage(d)
+                if rec is None:
+                    self.torn_records_skipped += 1
+                    continue
+                self.torn_records_salvaged += 1
             if rec.state == "running":
-                # orphaned by a crashed/killed service process
-                rec.state = "failed"
-                rec.reason = "orphaned: service restarted mid-run"
-                rec.finished_at = time.time()
+                # orphaned by a crashed/killed service process: promote it
+                # back to resumable work — the worker picks the run up from
+                # its last valid autocheckpoint instead of replaying it
+                rec.state = "queued"
+                rec.reason = "orphaned by service restart; requeued"
+                rec.started_at = None
+                rec.requeues += 1
+                self.orphans_requeued += 1
+                # a stale drain flag must not immediately re-suspend it
+                (d / DRAIN_NAME).unlink(missing_ok=True)
                 self._save(rec)
             self._records[rec.id] = rec
+            if rec.idempotency_key:
+                self._by_key[rec.idempotency_key] = rec.id
             try:
                 self._seq = max(self._seq, int(rec.id.lstrip("r")))
             except ValueError:
                 pass
 
+    def _salvage(self, d: Path) -> Optional[RunRecord]:
+        """Rebuild a torn record from its run directory's ground truth.
+
+        The deck is the run's identity; a parseable ``result.json``
+        proves the run already finished (its status is authoritative),
+        otherwise the run is requeued so it still executes exactly once.
+        Returns None when even the deck is gone.
+        """
+        if not (d / DECK_NAME).exists():
+            return None
+        rec = RunRecord(id=d.name,
+                        reason="registry record torn; salvaged from run "
+                               "directory", submitted_at=time.time())
+        result = None
+        try:
+            result = json.loads((d / RESULT_NAME).read_text())
+        except (OSError, ValueError):
+            pass
+        if (isinstance(result, dict)
+                and result.get("status") in TERMINAL_STATES):
+            rec.state = result["status"]
+            rec.result = result
+            rec.finished_at = time.time()
+        else:
+            rec.requeues = 1
+            (d / DRAIN_NAME).unlink(missing_ok=True)
+        self._save(rec)
+        return rec
+
     # -- submission --------------------------------------------------------
     def submit(self, deck_text: str, priority: int = 0, label: str = "",
                max_steps: Optional[int] = None,
                max_wall_s: Optional[float] = None,
-               steps: Optional[int] = None, trace: bool = False) -> RunRecord:
-        """Queue one run: create its directory, persist deck + record."""
+               steps: Optional[int] = None, trace: bool = False,
+               idempotency_key: str = "") -> RunRecord:
+        """Queue one run: create its directory, persist deck + record.
+
+        A repeated ``idempotency_key`` returns the run it already names
+        (whatever its state) instead of creating a duplicate — retried
+        submissions are absorbed, never re-executed.
+        """
         with self._lock:
+            if idempotency_key:
+                existing = self._by_key.get(idempotency_key)
+                if existing is not None:
+                    self.deduped_submissions += 1
+                    return self._records[existing]
             self._seq += 1
             rec = RunRecord(
                 id=f"r{self._seq:05d}", priority=int(priority),
@@ -140,11 +224,14 @@ class RunRegistry:
                 max_steps=int(max_steps) if max_steps else None,
                 max_wall_s=float(max_wall_s) if max_wall_s else None,
                 steps=int(steps) if steps else None, trace=bool(trace),
+                idempotency_key=str(idempotency_key or ""),
                 submitted_at=time.time())
             d = self.run_dir(rec.id)
             d.mkdir(parents=True, exist_ok=True)
             (d / DECK_NAME).write_text(deck_text)
             self._records[rec.id] = rec
+            if rec.idempotency_key:
+                self._by_key[rec.idempotency_key] = rec.id
             self._save(rec)
             return rec
 
@@ -152,6 +239,12 @@ class RunRegistry:
     def get(self, run_id: str) -> Optional[RunRecord]:
         with self._lock:
             return self._records.get(run_id)
+
+    def lookup_key(self, idempotency_key: str) -> Optional[RunRecord]:
+        """The run an idempotency key already names, if any."""
+        with self._lock:
+            rid = self._by_key.get(idempotency_key)
+            return self._records.get(rid) if rid else None
 
     def list(self, state: Optional[str] = None) -> List[RunRecord]:
         with self._lock:
@@ -182,6 +275,8 @@ class RunRegistry:
             rec.state = "running"
             rec.started_at = time.time()
             rec.attempts += 1
+            # a requeued run must not resurrect a spent drain request
+            (self.run_dir(rec.id) / DRAIN_NAME).unlink(missing_ok=True)
             self._save(rec)
             return rec
 
@@ -192,6 +287,35 @@ class RunRegistry:
             if rec is not None:
                 rec.attempts += 1
                 self._save(rec)
+
+    def requeue(self, run_id: str, reason: str = "") -> Optional[RunRecord]:
+        """Promote a ``running`` run back to ``queued`` (resumable work).
+
+        Used when a run is drained to a checkpoint (graceful shutdown),
+        when the fleet stops with the run still in flight, and by orphan
+        reconciliation at startup.  Terminal runs are left untouched.
+        """
+        with self._lock:
+            rec = self._records.get(run_id)
+            if rec is None or rec.state != "running":
+                return rec
+            rec.state = "queued"
+            rec.reason = reason
+            rec.started_at = None
+            rec.requeues += 1
+            (self.run_dir(run_id) / DRAIN_NAME).unlink(missing_ok=True)
+            self._save(rec)
+            return rec
+
+    def request_drain(self, run_id: str) -> bool:
+        """Raise the run's DRAIN flag (checkpoint + suspend at the next
+        step boundary); True if the run was running."""
+        with self._lock:
+            rec = self._records.get(run_id)
+            if rec is None or rec.state != "running":
+                return False
+            (self.run_dir(run_id) / DRAIN_NAME).touch()
+            return True
 
     # -- completion --------------------------------------------------------
     def finish(self, run_id: str, state: str, reason: str = "",

@@ -21,9 +21,19 @@ or a key/value mapping rendered into deck lines::
 Optional fields: ``priority`` (higher first), ``label``, ``steps``
 (override ``run.steps``), ``max_steps`` / ``max_wall_s`` (per-run
 budgets, enforced through the watchdog), ``trace`` (record a Chrome
-trace).  Handler threads only touch the registry and read artifact
-files; all execution happens on the fleet's pump thread and worker
-processes, so a slow run never blocks the HTTP surface.
+trace), ``idempotency_key`` (resubmitting the same key returns the
+run it already created — retried POSTs never duplicate work).
+
+**Admission control**: when the queue is deeper than
+``max_queue_depth`` the service sheds new submissions with ``429`` and
+a ``Retry-After`` header instead of accepting unbounded backlog; while
+draining (SIGTERM received) it refuses with ``503``.  ``/healthz``
+reports the degradation ladder (``ok`` → ``degraded`` → ``overloaded``
+→ ``draining``) so probes see saturation before clients do.
+
+Handler threads only touch the registry and read artifact files; all
+execution happens on the fleet's pump thread and worker processes, so
+a slow run never blocks the HTTP surface.
 """
 
 from __future__ import annotations
@@ -39,6 +49,24 @@ from repro.serve.registry import RunRegistry
 
 #: gauge prefixes surfaced as a run's live "progress" block
 PROGRESS_PREFIXES = ("perf.", "device.class.", "runtime.", "resilience.")
+
+
+class Overloaded(RuntimeError):
+    """Queue past ``max_queue_depth``: shed with 429 + Retry-After."""
+
+    def __init__(self, depth: int, limit: int, retry_after: float) -> None:
+        super().__init__(
+            f"queue depth {depth} exceeds limit {limit}; retry later")
+        self.retry_after = retry_after
+
+
+class Draining(RuntimeError):
+    """The service is draining to shutdown: refuse new work with 503."""
+
+    def __init__(self) -> None:
+        super().__init__("service is draining; submit to another instance "
+                         "or retry after restart")
+        self.retry_after = 1.0
 
 
 def read_metrics_tail(path, limit: Optional[int] = None) -> list:
@@ -74,7 +102,8 @@ class SimulationService:
 
     def __init__(self, root, workers: int = 2, executor: str = "pool",
                  task_retries: int = 1, task_timeout: float = 300.0,
-                 max_pool_restarts: int = 3) -> None:
+                 max_pool_restarts: int = 3, max_queue_depth: int = 256,
+                 autocheckpoint_every: int = 1, chaos=None) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.registry = RunRegistry(self.root)
@@ -82,7 +111,12 @@ class SimulationService:
         self.fleet = WorkerFleet(
             self.registry, self.cache_dir, workers=workers,
             executor=executor, task_retries=task_retries,
-            task_timeout=task_timeout, max_pool_restarts=max_pool_restarts)
+            task_timeout=task_timeout, max_pool_restarts=max_pool_restarts,
+            autocheckpoint_every=autocheckpoint_every, chaos=chaos)
+        #: queued runs past this depth are shed with 429 (0 = unbounded)
+        self.max_queue_depth = int(max_queue_depth)
+        #: submissions refused because the queue was saturated
+        self.shed_requests = 0
         self.started_at = time.time()
 
     def start(self) -> "SimulationService":
@@ -91,6 +125,43 @@ class SimulationService:
 
     def stop(self) -> None:
         self.fleet.stop()
+
+    def drain(self, grace_s: float = 30.0) -> bool:
+        """Checkpoint + requeue every in-flight run, refuse new work."""
+        return self.fleet.drain(grace_s)
+
+    # -- admission control -------------------------------------------------
+    def _queue_depth(self) -> int:
+        return self.registry.counts().get("queued", 0)
+
+    def _retry_after(self, depth: int) -> float:
+        """A Retry-After estimate: how long until the backlog clears.
+
+        Scales with how far past the limit the queue is, clamped to a
+        sane probe window — a hint, not a promise.
+        """
+        over = max(1, depth - self.max_queue_depth)
+        return min(30.0, max(1.0, 0.25 * over))
+
+    def health(self) -> dict:
+        """The degradation ladder surfaced by ``/healthz``."""
+        depth = self._queue_depth()
+        if self.fleet.draining:
+            status = "draining"
+        elif self.max_queue_depth and depth >= self.max_queue_depth:
+            status = "overloaded"
+        elif self.fleet.degraded:
+            status = "degraded"
+        else:
+            status = "ok"
+        return {
+            "ok": status in ("ok", "degraded"),
+            "status": status,
+            "queue_depth": depth,
+            "max_queue_depth": self.max_queue_depth,
+            "draining": self.fleet.draining,
+            "degraded": self.fleet.degraded,
+        }
 
     # -- request handlers (called from HTTP handler threads) ---------------
     def submit(self, body: dict) -> dict:
@@ -105,6 +176,17 @@ class SimulationService:
         from repro.io.inputs import InputDeck
 
         InputDeck.parse(deck_text)
+        key = str(body.get("idempotency_key") or "")
+        # a key the registry already knows bypasses admission control:
+        # answering a retry from the index adds no queue depth
+        if not (key and self.registry.lookup_key(key) is not None):
+            if self.fleet.draining:
+                raise Draining()
+            depth = self._queue_depth()
+            if self.max_queue_depth and depth >= self.max_queue_depth:
+                self.shed_requests += 1
+                raise Overloaded(depth, self.max_queue_depth,
+                                 self._retry_after(depth + 1))
         rec = self.registry.submit(
             deck_text,
             priority=body.get("priority", 0),
@@ -112,7 +194,8 @@ class SimulationService:
             max_steps=body.get("max_steps"),
             max_wall_s=body.get("max_wall_s"),
             steps=body.get("steps"),
-            trace=body.get("trace", False))
+            trace=body.get("trace", False),
+            idempotency_key=key)
         return rec.summary()
 
     def run_status(self, run_id: str) -> Optional[dict]:
@@ -142,10 +225,26 @@ class SimulationService:
         return {"id": run_id, "state": rec.state, "records": records}
 
     def stats(self) -> dict:
+        fleet = self.fleet.snapshot()
         return {
             "uptime_s": time.time() - self.started_at,
             "runs": self.registry.counts(),
-            "fleet": self.fleet.snapshot(),
+            "fleet": fleet,
+            # the service-resilience ledger: what chaos cost and what
+            # recovery bought, one block for dashboards and the report
+            "service": {
+                "health": self.health()["status"],
+                "max_queue_depth": self.max_queue_depth,
+                "shed_requests": self.shed_requests,
+                "deduped_submissions": self.registry.deduped_submissions,
+                "orphans_requeued": self.registry.orphans_requeued,
+                "torn_records_salvaged": self.registry.torn_records_salvaged,
+                "torn_records_skipped": self.registry.torn_records_skipped,
+                "suspended_runs": fleet["suspended_runs"],
+                "resumes": fleet["resumes"],
+                "replayed_steps": fleet["replayed_steps"],
+                "cache_evictions": fleet["cache_evictions"],
+            },
         }
 
 
@@ -165,11 +264,14 @@ class ServiceHandler(BaseHTTPRequestHandler):
             super().log_message(fmt, *args)
 
     # -- plumbing ----------------------------------------------------------
-    def _send(self, code: int, payload: dict) -> None:
+    def _send(self, code: int, payload: dict,
+              headers: Optional[dict] = None) -> None:
         body = json.dumps(payload).encode()
         self.send_response(code)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for k, v in (headers or {}).items():
+            self.send_header(k, v)
         self.end_headers()
         self.wfile.write(body)
 
@@ -196,7 +298,9 @@ class ServiceHandler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802
         parts = self._route()
         if parts == ["healthz"]:
-            self._send(200, {"ok": True})
+            # liveness stays 200 even when shedding — a saturated server
+            # is alive; the degradation state is in the body
+            self._send(200, self.service.health())
         elif parts == ["stats"]:
             self._send(200, self.service.stats())
         elif parts == ["runs"]:
@@ -235,6 +339,14 @@ class ServiceHandler(BaseHTTPRequestHandler):
                     self._send(200, {"id": parts[1], "state": state})
             else:
                 self._send(404, {"error": f"no route {self.path!r}"})
+        except Overloaded as exc:
+            self._send(429, {"error": str(exc),
+                             "retry_after_s": exc.retry_after},
+                       headers={"Retry-After": f"{exc.retry_after:.0f}"})
+        except Draining as exc:
+            self._send(503, {"error": str(exc),
+                             "retry_after_s": exc.retry_after},
+                       headers={"Retry-After": f"{exc.retry_after:.0f}"})
         except (ValueError, KeyError) as exc:
             self._send(400, {"error": str(exc)})
 

@@ -59,27 +59,158 @@ def test_cancel_queued_vs_running(reg):
     assert reg.cancel("r99999") is None
 
 
-def test_restart_marks_orphaned_running_runs_failed(tmp_path):
+def test_restart_requeues_orphaned_running_runs(tmp_path):
     reg = RunRegistry(tmp_path / "svc")
     rec = reg.submit(DECK)
     reg.claim_next()
     assert reg.get(rec.id).state == "running"
-    # a fresh registry over the same root = service restarted mid-run
+    # a stale drain flag must not re-suspend the resumed run immediately
+    (reg.run_dir(rec.id) / "DRAIN").touch()
+    # a fresh registry over the same root = service restarted mid-run:
+    # the orphan goes back to resumable work, it is NOT failed
     reg2 = RunRegistry(tmp_path / "svc")
     back = reg2.get(rec.id)
-    assert back.state == "failed"
-    assert "orphaned" in back.reason
+    assert back.state == "queued"
+    assert "orphaned" in back.reason and "requeued" in back.reason
+    assert back.requeues == 1
+    assert back.started_at is None
+    assert not (reg2.run_dir(rec.id) / "DRAIN").exists()
+    assert reg2.orphans_requeued == 1
+    # the requeued orphan is claimable again (resume path)
+    claimed = reg2.claim_next()
+    assert claimed.id == rec.id and claimed.attempts == 2
     # sequence numbering continues past reloaded runs
     newer = reg2.submit(DECK)
     assert newer.id > rec.id
 
 
-def test_restart_skips_torn_record(tmp_path):
+def test_restart_salvages_torn_queued_record(tmp_path):
     reg = RunRegistry(tmp_path / "svc")
     rec = reg.submit(DECK)
     (reg.run_dir(rec.id) / "run.json").write_text('{"id": "r000')  # torn
     reg2 = RunRegistry(tmp_path / "svc")
+    back = reg2.get(rec.id)
+    # the deck survives, so the run is rebuilt and still executes
+    assert back is not None and back.state == "queued"
+    assert "salvaged" in back.reason
+    assert reg2.torn_records_salvaged == 1
+    assert reg2.claim_next().id == rec.id
+
+
+def test_restart_salvages_torn_terminal_record_without_rerun(tmp_path):
+    reg = RunRegistry(tmp_path / "svc")
+    rec = reg.submit(DECK)
+    reg.claim_next()
+    reg.finish(rec.id, "done", result={"status": "done", "steps": 2})
+    # the worker's result.json is the ground truth salvage reads
+    (reg.run_dir(rec.id) / "result.json").write_text(
+        '{"status": "done", "steps": 2}')
+    (reg.run_dir(rec.id) / "run.json").write_text('{"state": "don')  # torn
+    reg2 = RunRegistry(tmp_path / "svc")
+    back = reg2.get(rec.id)
+    # result.json proves completion: salvaged terminal, NOT re-executed
+    assert back.state == "done"
+    assert back.result["steps"] == 2
+    assert reg2.claim_next() is None
+
+
+def test_restart_skips_record_with_nothing_to_salvage(tmp_path):
+    reg = RunRegistry(tmp_path / "svc")
+    rec = reg.submit(DECK)
+    (reg.run_dir(rec.id) / "deck.inputs").unlink()
+    (reg.run_dir(rec.id) / "run.json").write_text('{"id": "r000')  # torn
+    reg2 = RunRegistry(tmp_path / "svc")
     assert reg2.get(rec.id) is None  # skipped, not crashed
+    assert reg2.torn_records_skipped == 1
+
+
+def test_idempotency_key_dedupes_submissions(reg):
+    a = reg.submit(DECK, idempotency_key="k-1", label="first")
+    b = reg.submit(DECK, idempotency_key="k-1", label="retry")
+    assert b.id == a.id and b.label == "first"
+    assert reg.deduped_submissions == 1
+    other = reg.submit(DECK, idempotency_key="k-2")
+    assert other.id != a.id
+    assert reg.counts()["queued"] == 2
+
+
+def test_idempotency_index_survives_restart(tmp_path):
+    reg = RunRegistry(tmp_path / "svc")
+    rec = reg.submit(DECK, idempotency_key="k-restart")
+    reg2 = RunRegistry(tmp_path / "svc")
+    assert reg2.submit(DECK, idempotency_key="k-restart").id == rec.id
+    assert reg2.deduped_submissions == 1
+
+
+def test_requeue_promotes_running_back_to_queued(reg):
+    rec = reg.submit(DECK)
+    reg.claim_next()
+    (reg.run_dir(rec.id) / "DRAIN").touch()
+    back = reg.requeue(rec.id, reason="drained")
+    assert back.state == "queued" and back.requeues == 1
+    assert back.started_at is None
+    assert not (reg.run_dir(rec.id) / "DRAIN").exists()
+    # terminal records are left untouched
+    reg.claim_next()
+    reg.finish(rec.id, "done")
+    assert reg.requeue(rec.id).state == "done"
+
+
+def test_request_drain_flags_only_running_runs(reg):
+    queued = reg.submit(DECK)
+    assert reg.request_drain(queued.id) is False
+    reg.claim_next()
+    assert reg.request_drain(queued.id) is True
+    assert (reg.run_dir(queued.id) / "DRAIN").exists()
+    # claiming after a requeue clears the stale flag
+    reg.requeue(queued.id)
+    (reg.run_dir(queued.id) / "DRAIN").touch()
+    reg.claim_next()
+    assert not (reg.run_dir(queued.id) / "DRAIN").exists()
+
+
+def test_claim_cancel_race_is_exactly_once(reg):
+    """Threads hammering claim_next vs cancel never double-claim a run."""
+    import threading
+
+    recs = [reg.submit(DECK) for _ in range(40)]
+    claimed, errors = [], []
+
+    def claimer():
+        try:
+            while True:
+                rec = reg.claim_next()
+                if rec is None:
+                    if reg.counts()["queued"] == 0:
+                        return
+                    continue
+                claimed.append(rec.id)
+        except Exception as exc:  # pragma: no cover - the failure signal
+            errors.append(exc)
+
+    def canceller():
+        try:
+            for rec in recs:
+                reg.cancel(rec.id)
+        except Exception as exc:  # pragma: no cover
+            errors.append(exc)
+
+    threads = ([threading.Thread(target=claimer) for _ in range(4)]
+               + [threading.Thread(target=canceller)])
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(30.0)
+    assert not errors
+    # every run was claimed at most once, and each ended either claimed
+    # (running, possibly with a CANCEL flag pending) or cancelled-before-
+    # start — never both, never neither, never lost
+    assert len(claimed) == len(set(claimed))
+    counts = reg.counts()
+    assert counts["running"] == len(claimed)
+    assert counts["running"] + counts["cancelled"] == len(recs)
+    for rid in claimed:
+        assert reg.get(rid).state == "running"
 
 
 def test_read_result_absent_and_torn(reg):

@@ -1,0 +1,174 @@
+"""Restart reconciliation across REAL server processes.
+
+Two drills, each spanning two generations of ``python -m repro.serve``
+over one registry directory:
+
+- **crash**: the first server (and its whole process group, i.e. the
+  pool workers too) is SIGKILLed mid-run.  The second generation must
+  requeue the orphaned ``running`` record, resume it from its
+  autocheckpoint, and finish every submitted run exactly once.
+- **drain**: the first server gets SIGTERM, checkpoints its in-flight
+  run, requeues it and exits within the grace window; the second
+  generation resumes the drained run to completion.
+"""
+
+import json
+import multiprocessing
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.serve.client import ServeClient
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="server fleet pool needs the fork start method",
+)
+
+REPO = Path(__file__).resolve().parents[2]
+DECK_LONG = ("crocco.case = sod\namr.n_cell = 32\nrun.steps = 400\n"
+             "run.checkpoint = chk\n")
+DECK_SHORT = ("crocco.case = sod\namr.n_cell = 32\nrun.steps = 2\n"
+              "run.checkpoint = chk\n")
+
+
+def start_server(root, timeout=60.0):
+    """Launch ``python -m repro.serve`` in its own process group.
+
+    Returns ``(proc, url)``; the ephemeral port is parsed from the
+    banner line.  ``start_new_session`` puts the server AND its forked
+    pool workers in one killable process group — ``kill -9`` on the
+    group is the whole-node-died simulation (killing just the parent
+    would leave orphan workers finishing runs behind the test's back).
+    """
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.serve", "--root", str(root),
+         "--port", "0", "--workers", "1", "--drain-grace", "30"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env=env, start_new_session=True)
+    t_end = time.monotonic() + timeout
+    banner = ""
+    while time.monotonic() < t_end:
+        banner = proc.stdout.readline()
+        if "listening on" in banner:
+            break
+        if proc.poll() is not None:
+            raise AssertionError(
+                f"server died on startup: {banner}{proc.stdout.read()}")
+    match = re.search(r"http://[\d.]+:\d+", banner)
+    assert match, f"no listen banner within {timeout}s: {banner!r}"
+    return proc, match.group(0)
+
+
+def kill_group(proc):
+    """SIGKILL the server's whole process group (server + workers)."""
+    try:
+        os.killpg(os.getpgid(proc.pid), signal.SIGKILL)
+    except ProcessLookupError:
+        pass
+    proc.wait(timeout=10)
+
+
+def wait_running_with_checkpoint(root, run_id, timeout=90.0):
+    """Block until the run is mid-flight with >= 1 autocheckpoint saved."""
+    autochk = Path(root) / "runs" / run_id / "autochk"
+    t_end = time.monotonic() + timeout
+    while time.monotonic() < t_end:
+        if autochk.is_dir() and any(autochk.iterdir()):
+            return
+        time.sleep(0.05)
+    raise AssertionError(f"{run_id} never saved an autocheckpoint")
+
+
+def read_record(root, run_id):
+    return json.loads(
+        (Path(root) / "runs" / run_id / "run.json").read_text())
+
+
+def test_sigkill_mid_run_next_generation_resumes_exactly_once(tmp_path):
+    root = tmp_path / "svc"
+    proc, url = start_server(root)
+    try:
+        client = ServeClient(url, retries=3)
+        short = client.submit(deck=DECK_SHORT)
+        assert client.wait(short["id"], timeout=90)["state"] == "done"
+        long = client.submit(deck=DECK_LONG)
+        wait_running_with_checkpoint(root, long["id"])
+    finally:
+        kill_group(proc)  # the node dies: no drain, no cleanup
+
+    # on disk: the short run is terminal, the long one a running orphan
+    assert read_record(root, short["id"])["state"] == "done"
+    assert read_record(root, long["id"])["state"] == "running"
+
+    proc2, url2 = start_server(root)
+    try:
+        client2 = ServeClient(url2, retries=3)
+        done = client2.wait(long["id"], timeout=180)
+        assert done["state"] == "done"
+        # the orphan was requeued (attempt 2), resumed from its
+        # checkpoint (bounded replay), and ran to its full step count
+        assert done["attempts"] >= 2
+        assert done["requeues"] >= 1
+        result = done["result"]
+        assert result["steps"] == 400
+        assert result["resumed"] is True
+        assert result["replayed_steps"] <= 1
+        # the finished run was NOT re-executed by the restart
+        again = client2.status(short["id"])
+        assert again["state"] == "done" and again["attempts"] == 1
+        # recovery accounting is visible at the service surface
+        service = client2.stats()["service"]
+        assert service["orphans_requeued"] == 1
+        assert service["resumes"] >= 1
+        assert service["replayed_steps"] <= 1
+    finally:
+        proc2.send_signal(signal.SIGTERM)
+        out, _ = proc2.communicate(timeout=60)
+        assert "stopped" in out
+
+
+def test_sigterm_drains_to_checkpoint_and_restart_resumes(tmp_path):
+    root = tmp_path / "svc"
+    proc, url = start_server(root)
+    client = ServeClient(url, retries=3)
+    try:
+        rec = client.submit(deck=DECK_LONG)
+        wait_running_with_checkpoint(root, rec["id"])
+    finally:
+        proc.send_signal(signal.SIGTERM)
+    out, _ = proc.communicate(timeout=90)
+    assert "draining" in out and "stopped" in out
+
+    # graceful exit: the run was suspended to a checkpoint and requeued
+    on_disk = read_record(root, rec["id"])
+    assert on_disk["state"] == "queued"
+    assert on_disk["requeues"] >= 1
+    assert "drain" in on_disk["reason"]
+    autochk = Path(root) / "runs" / rec["id"] / "autochk"
+    assert autochk.is_dir() and any(autochk.iterdir())
+
+    proc2, url2 = start_server(root)
+    try:
+        client2 = ServeClient(url2, retries=3)
+        done = client2.wait(rec["id"], timeout=180)
+        assert done["state"] == "done"
+        result = done["result"]
+        assert result["steps"] == 400
+        assert result["resumed"] is True
+        assert result["resume_step"] >= 1
+        assert result["replayed_steps"] <= 1
+        # a drained run is a requeue, not an orphan: reconciliation at
+        # startup found nothing to repair
+        assert client2.stats()["service"]["orphans_requeued"] == 0
+    finally:
+        proc2.send_signal(signal.SIGTERM)
+        proc2.communicate(timeout=60)

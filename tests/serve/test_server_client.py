@@ -30,7 +30,8 @@ def service(tmp_path):
 
 def test_submit_poll_metrics_roundtrip(service):
     client, httpd = service
-    assert client.healthz() == {"ok": True}
+    health = client.healthz()
+    assert health["ok"] is True and health["status"] == "ok"
     rec = client.submit(deck=DECK, label="e2e")
     assert rec["state"] == "queued" and rec["id"].startswith("r")
     done = client.wait(rec["id"], timeout=120)

@@ -12,7 +12,7 @@ import numpy as np
 from repro.amr.box import Box
 from repro.amr.intvect import IntVect, IntVectLike
 from repro.amr.multifab import MultiFab
-from repro.backend import parallel_for
+from repro.backend import LaunchSpec, parallel_for
 
 
 def average_down(fine: MultiFab, crse: MultiFab, ratio: IntVectLike) -> None:
@@ -47,7 +47,8 @@ def average_down(fine: MultiFab, crse: MultiFab, ratio: IntVectLike) -> None:
 
         parallel_for("AverageDown", restrict,
                      sum(of.num_pts() for _, _, of in pairs),
-                     kernel_class="averagedown", rank=crse.dm[i])
+                     LaunchSpec(kernel_class="averagedown",
+                                rank=crse.dm[i]))
 
 
 def _fully_covered(fbox: Box, r: IntVect) -> Box:

@@ -28,7 +28,7 @@ import numpy as np
 from repro.amr.box import Box
 from repro.amr.geometry import Geometry
 from repro.amr.multifab import MultiFab
-from repro.backend import parallel_for
+from repro.backend import LaunchSpec, parallel_for
 
 
 class FillBoundaryHandle:
@@ -87,7 +87,8 @@ class FillBoundaryHandle:
 
             parallel_for("FB_pack", pack,
                          sum(r.num_pts() for _, r, _ in plan),
-                         kernel_class="fillpatch", rank=mf.dm[i])
+                         LaunchSpec(kernel_class="fillpatch",
+                                    rank=mf.dm[i]))
 
     @property
     def nbytes(self) -> int:
@@ -113,7 +114,8 @@ class FillBoundaryHandle:
 
             parallel_for("FB_unpack", unpack,
                          sum(r.num_pts() for _, r, _ in packets),
-                         kernel_class="fillpatch", rank=self.mf.dm[i])
+                         LaunchSpec(kernel_class="fillpatch",
+                                    rank=self.mf.dm[i]))
         self._packets.clear()
         self._done = True
 

@@ -29,7 +29,7 @@ from repro.amr.geometry import Geometry
 from repro.amr.intvect import IntVect, IntVectLike
 from repro.amr.interpolate import Interpolator
 from repro.amr.multifab import MultiFab
-from repro.backend import parallel_for
+from repro.backend import LaunchSpec, parallel_for
 
 #: signature: bc_fill(fab, geom, time) fills ghost cells outside the domain
 BCFill = Callable[[FArrayBox, Geometry, float], None]
@@ -49,7 +49,7 @@ def _bc_fill_launch(bc_fill: BCFill, fab: FArrayBox, geom: Geometry,
     """
     ghost_pts = fab.grown_box().num_pts() - fab.box.num_pts()
     parallel_for("BC_fill", lambda: bc_fill(fab, geom, time),
-                 ghost_pts, kernel_class="fillpatch", rank=rank)
+                 ghost_pts, LaunchSpec(kernel_class="fillpatch", rank=rank))
 
 
 class FillPatchOp:
@@ -262,7 +262,8 @@ def _interp_piece(
     vals = parallel_for(
         f"Interp_{interp.kernel_label}",
         lambda: interp.interp(ctmp, piece, ratio, ccoords, fine_coords_fab),
-        piece.num_pts(), kernel_class="interp", rank=dst_rank)
+        piece.num_pts(),
+        LaunchSpec(kernel_class="interp", rank=dst_rank))
     nc = min(fab.ncomp, vals.shape[0])
     fab.view(piece, slice(0, nc))[...] = vals[:nc]
 
@@ -292,8 +293,9 @@ def _gather_coarse(src: MultiFab, region: Box, comm, dst_rank: int,
             found = True
         return found
 
-    found = parallel_for("PC_gather", gather, region.num_pts(),
-                         kernel_class="fillpatch", rank=dst_rank)
+    found = parallel_for(
+        "PC_gather", gather, region.num_pts(),
+        LaunchSpec(kernel_class="fillpatch", rank=dst_rank))
     if not found:
         raise ValueError(f"no coarse data available for region {region}")
     _nearest_fill(tmp.data)

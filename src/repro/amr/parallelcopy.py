@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.amr.multifab import MultiFab
-from repro.backend import parallel_for
+from repro.backend import LaunchSpec, parallel_for
 
 
 def parallel_copy(
@@ -51,4 +51,4 @@ def parallel_copy(
 
         parallel_for("PC_copy", copy,
                      sum(o.num_pts() for _, o in overlaps),
-                     kernel_class="fillpatch", rank=dst.dm[i])
+                     LaunchSpec(kernel_class="fillpatch", rank=dst.dm[i]))

@@ -20,7 +20,7 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from repro.amr.multifab import MultiFab
-from repro.backend import parallel_for
+from repro.backend import LaunchSpec, parallel_for
 
 
 def undivided_gradient_magnitude(arr: np.ndarray) -> np.ndarray:
@@ -60,7 +60,7 @@ def _gradient_on_valid(fab, comp: int) -> np.ndarray:
 def _tag_launch(name: str, mf: MultiFab, i: int, fn) -> np.ndarray:
     """Run one fab's tagging criterion as a labeled launch."""
     return parallel_for(name, fn, mf.ba[i].num_pts(),
-                        kernel_class="tagging", rank=mf.dm[i])
+                        LaunchSpec(kernel_class="tagging", rank=mf.dm[i]))
 
 
 def tag_density_gradient(mf: MultiFab, rho_comp: int, threshold: float) -> Dict[int, np.ndarray]:

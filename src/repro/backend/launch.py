@@ -6,19 +6,39 @@ ComputeDt reduction — behind the AMReX GPU API (``launch`` /
 ``ParallelFor`` / ``ReduceData``), which is exactly what makes the
 device-side accounting of the paper's evaluation complete.  This module
 hoists that seam out of :mod:`repro.kernels.device` into a shared layer
-both the kernel backends and the AMR substrate launch through:
+both the kernel backends and the AMR substrate launch through.
 
-``HostBackend``
+**Targets are pluggable.**  A backend target registers itself with
+:func:`register_target`; :func:`make_exec_backend` constructs backends
+*only* through that registry, and :func:`available_targets` (and the
+derived module attribute ``TARGETS``) enumerate what is installed:
+
+``host``
     Plain NumPy: :meth:`~ExecutionBackend.parallel_for` runs the body
     directly and :meth:`~ExecutionBackend.reduce_data` is a NumPy
     reduction.  No accounting, no records — the v1.x CPU path.
 
-``DeviceBackend``
+``device``
     The same arithmetic executed as recorded launches on simulated
     :class:`~repro.kernels.device.GpuDevice` instances (arena accounting,
     launch records, flop/byte budgets).  Because the body is identical,
     host and device targets are *bitwise* identical; only the accounting
     differs — the v2.0/2.1 path.
+
+``fused``
+    The first *optimizing* target (:mod:`repro.backend.fused`): kernels
+    that advertise fusion collapse the per-direction WENO sweeps into
+    one wide launch, reconstruction scratch is reused from a
+    shape-keyed cache, and the hottest kernels are optionally JITed via
+    numba (soft dependency).  Accounting matches the device target;
+    results drift from host by <= 1e-7 relative L2 (the paper's own
+    Fortran -> C++ criterion), not bitwise.
+
+**The launch contract is a** :class:`LaunchSpec`.  Every target accepts
+``parallel_for(name, fn, npoints, spec)`` / ``reduce_data(name, values,
+op, spec)`` uniformly; the historical loose keywords (``kernel_class=``,
+``budget=``, ``rank=``, ``device=``) are still accepted for one release
+but emit a :class:`DeprecationWarning`.
 
 A module-level current backend (default: host) lets deep call sites —
 the AMR substrate has no reference to the driver — resolve their target
@@ -30,14 +50,12 @@ workers back into the driver (records themselves stay worker-local).
 
 from __future__ import annotations
 
+import warnings
 from contextlib import contextmanager
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
-
-#: recognized execution targets (``backend.target`` deck key values)
-TARGETS = ("host", "device")
 
 #: kernel classes used to group launch accounting
 KERNEL_CLASSES = ("flux", "update", "fillpatch", "interp", "averagedown",
@@ -47,6 +65,68 @@ _REDUCE_OPS = {"min": np.min, "max": np.max, "sum": np.sum}
 
 #: counter fields tracked per kernel class
 COUNTER_FIELDS = ("launches", "points", "flops", "dram_bytes")
+
+
+# -- the launch contract -----------------------------------------------------
+
+@dataclass(frozen=True)
+class LaunchSpec:
+    """The one documented keyword contract of ``parallel_for``/``reduce_data``.
+
+    Every registered target accepts a LaunchSpec uniformly (targets that
+    do not account simply ignore the accounting fields), replacing the
+    per-target keyword lists that used to drift apart:
+
+    ``kernel_class``
+        Coarse accounting group (one of :data:`KERNEL_CLASSES`).
+    ``budget``
+        A :class:`~repro.kernels.counts.KernelBudget` pricing the launch
+        (flops/bytes per point); accounting targets resolve ``None`` from
+        the launch name via
+        :func:`~repro.kernels.counts.budget_for_kernel`.
+    ``rank``
+        The simulated MPI rank issuing the launch; accounting targets
+        map it to that rank's device when ``device`` is not given.
+    ``device``
+        Explicit :class:`~repro.kernels.device.GpuDevice` override.
+    ``shape``
+        Array-shape hint for scratch caching: optimizing targets key
+        their reconstruction-scratch allocator by box shape, and the
+        hint lets them attribute cache traffic per launch.
+    """
+
+    kernel_class: str = "flux"
+    budget: Optional[object] = None
+    rank: int = 0
+    device: Optional[object] = None
+    shape: Optional[Tuple[int, ...]] = None
+
+
+#: loose keywords accepted (deprecated) in place of a LaunchSpec
+_LEGACY_KEYS = ("kernel_class", "budget", "rank", "device", "shape")
+
+
+def _normalize_spec(spec: Optional[LaunchSpec], kwargs: dict,
+                    default_class: str) -> LaunchSpec:
+    """Fold deprecated loose keywords into a LaunchSpec (warning once per
+    call site); bare calls get a default spec."""
+    if kwargs:
+        unknown = set(kwargs) - set(_LEGACY_KEYS)
+        if unknown:
+            raise TypeError(
+                f"unknown launch keyword(s) {sorted(unknown)}; the "
+                f"LaunchSpec fields are {_LEGACY_KEYS}")
+        warnings.warn(
+            "loose parallel_for/reduce_data keywords (kernel_class=, "
+            "budget=, rank=, device=) are deprecated; pass a "
+            "LaunchSpec(...) as the `spec` argument instead",
+            DeprecationWarning, stacklevel=4)
+        if spec is None:
+            spec = LaunchSpec(kernel_class=default_class)
+        spec = replace(spec, **kwargs)
+    elif spec is None:
+        spec = LaunchSpec(kernel_class=default_class)
+    return spec
 
 
 @dataclass
@@ -90,25 +170,39 @@ def counters_delta(after: Dict[str, Dict[str, int]],
 class ExecutionBackend:
     """Launch primitives shared by the kernel backends and the AMR substrate.
 
-    ``parallel_for(name, fn, npoints, ...)`` runs ``fn`` as one logical
+    ``parallel_for(name, fn, npoints, spec)`` runs ``fn`` as one logical
     device launch over ``npoints`` grid points; ``reduce_data`` is the
-    ``amrex::ReduceData`` analogue.  Subclasses decide whether anything
-    is recorded.
+    ``amrex::ReduceData`` analogue.  The public methods normalize the
+    keyword contract (LaunchSpec vs. deprecated loose kwargs) once, here;
+    targets implement only :meth:`_launch` / :meth:`_reduce` and decide
+    whether anything is recorded.
     """
 
     target = "abstract"
 
-    def parallel_for(self, name: str, fn: Callable, npoints: int, *,
-                     kernel_class: str = "flux", budget=None,
-                     rank: int = 0, device=None):
+    #: targets that fuse kernel launches set this; :class:`KernelSet`
+    #: checks it to route the RK right-hand side through the fused sweep
+    fuses_kernels = False
+
+    def parallel_for(self, name: str, fn: Callable, npoints: int,
+                     spec: Optional[LaunchSpec] = None, **kwargs):
+        return self._launch(name, fn, npoints,
+                            _normalize_spec(spec, kwargs, "flux"))
+
+    def reduce_data(self, name: str, values, op: str = "min",
+                    spec: Optional[LaunchSpec] = None, **kwargs) -> float:
+        return self._reduce(name, values, op,
+                            _normalize_spec(spec, kwargs, "reduction"))
+
+    # -- target hooks ------------------------------------------------------
+    def _launch(self, name: str, fn: Callable, npoints: int,
+                spec: LaunchSpec):
         raise NotImplementedError
 
-    def reduce_data(self, name: str, values, op: str = "min", *,
-                    kernel_class: str = "reduction", rank: int = 0,
-                    device=None) -> float:
+    def _reduce(self, name: str, values, op: str, spec: LaunchSpec) -> float:
         raise NotImplementedError
 
-    # -- accounting (device target only; host returns empties) -------------
+    # -- accounting (accounting targets only; host returns empties) --------
     @property
     def counters(self) -> Dict[str, LaunchCounter]:
         return {}
@@ -133,12 +227,10 @@ class HostBackend(ExecutionBackend):
 
     target = "host"
 
-    def parallel_for(self, name, fn, npoints, *, kernel_class="flux",
-                     budget=None, rank=0, device=None):
+    def _launch(self, name, fn, npoints, spec):
         return fn()
 
-    def reduce_data(self, name, values, op="min", *,
-                    kernel_class="reduction", rank=0, device=None) -> float:
+    def _reduce(self, name, values, op, spec) -> float:
         if op not in _REDUCE_OPS:
             raise ValueError(f"unknown reduction op {op!r}")
         return float(_REDUCE_OPS[op](values))
@@ -147,11 +239,12 @@ class HostBackend(ExecutionBackend):
 class DeviceBackend(ExecutionBackend):
     """Recorded execution on simulated GPUs, one device per rank.
 
-    An explicit ``device=`` wins; otherwise ``rank`` selects from the
-    backend's device list (Summit: one V100 per MPI rank).  Every launch
-    also feeds a per-kernel-class :class:`LaunchCounter`, and counters
-    merged from pool workers are kept separately (``worker_counters``) so
-    driver-recorded work is never double-counted.
+    An explicit ``spec.device`` wins; otherwise ``spec.rank`` selects
+    from the backend's device list (Summit: one V100 per MPI rank).
+    Every launch also feeds a per-kernel-class :class:`LaunchCounter`,
+    and counters merged from pool workers are kept separately
+    (``worker_counters``) so driver-recorded work is never
+    double-counted.
     """
 
     target = "device"
@@ -182,26 +275,24 @@ class DeviceBackend(ExecutionBackend):
     def _count(self, kernel_class: str, rec) -> None:
         self._counters.setdefault(kernel_class, LaunchCounter()).add_record(rec)
 
-    def parallel_for(self, name, fn, npoints, *, kernel_class="flux",
-                     budget=None, rank=0, device=None):
-        dev = device if device is not None else self.device_for(rank)
-        b = self._budget(name, budget)
+    def _launch(self, name, fn, npoints, spec):
+        dev = spec.device if spec.device is not None else self.device_for(spec.rank)
+        b = self._budget(name, spec.budget)
         result = dev.launch(
             name, fn, npoints,
             flops_per_point=b.flops_per_point,
             dram_bytes_per_point=b.dram_bytes_per_point,
             l2_amplification=b.l2_amplification,
             l1_amplification=b.l1_amplification,
-            kernel_class=kernel_class,
+            kernel_class=spec.kernel_class,
         )
-        self._count(kernel_class, dev.launches[-1])
+        self._count(spec.kernel_class, dev.launches[-1])
         return result
 
-    def reduce_data(self, name, values, op="min", *,
-                    kernel_class="reduction", rank=0, device=None) -> float:
-        dev = device if device is not None else self.device_for(rank)
-        result = dev.reduce(name, values, op=op, kernel_class=kernel_class)
-        self._count(kernel_class, dev.launches[-1])
+    def _reduce(self, name, values, op, spec) -> float:
+        dev = spec.device if spec.device is not None else self.device_for(spec.rank)
+        result = dev.reduce(name, values, op=op, kernel_class=spec.kernel_class)
+        self._count(spec.kernel_class, dev.launches[-1])
         return result
 
     # -- worker-counter merging --------------------------------------------
@@ -214,8 +305,8 @@ class DeviceBackend(ExecutionBackend):
         for source in (self._counters, self.worker_counters):
             for cls, c in source.items():
                 tot = out.setdefault(cls, {f: 0 for f in COUNTER_FIELDS})
-                for field, value in c.as_dict().items():
-                    tot[field] += value
+                for field_, value in c.as_dict().items():
+                    tot[field_] += value
         return out
 
     @property
@@ -223,14 +314,105 @@ class DeviceBackend(ExecutionBackend):
         return sum(c.launches for c in self.worker_counters.values())
 
 
+# -- target registry ---------------------------------------------------------
+
+class UnknownTargetError(ValueError):
+    """An execution-target name with no registered factory."""
+
+
+#: name -> factory(devices=None) -> ExecutionBackend, in registration order
+_TARGET_FACTORIES: Dict[str, Callable[..., ExecutionBackend]] = {}
+
+
+def register_target(name: str, factory: Callable[..., ExecutionBackend], *,
+                    override: bool = False) -> None:
+    """Register an execution-target factory under ``name``.
+
+    ``factory(devices=None)`` must return a fresh
+    :class:`ExecutionBackend`.  Registering an existing name raises
+    unless ``override=True`` (used by tests and downstream forks to swap
+    a target implementation in place).
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError(f"target name must be a non-empty string, got {name!r}")
+    if name == "auto":
+        raise ValueError("'auto' is reserved for version-default resolution")
+    if name in _TARGET_FACTORIES and not override:
+        raise ValueError(
+            f"target {name!r} is already registered "
+            f"(pass override=True to replace it)")
+    _TARGET_FACTORIES[name] = factory
+
+
+def unregister_target(name: str) -> None:
+    """Remove a registered target (primarily for test isolation)."""
+    _TARGET_FACTORIES.pop(name, None)
+
+
+def available_targets() -> Tuple[str, ...]:
+    """Registered target names, in registration order."""
+    return tuple(_TARGET_FACTORIES)
+
+
 def make_exec_backend(target: str,
                       devices: Optional[List[object]] = None) -> ExecutionBackend:
-    """Build a backend by target name (``backend.target`` / REPRO_BACKEND)."""
-    if target == "host":
-        return HostBackend()
-    if target == "device":
-        return DeviceBackend(devices)
-    raise ValueError(f"unknown backend target {target!r}; options {TARGETS}")
+    """Build a backend by target name (``backend.target`` / REPRO_BACKEND).
+
+    Construction goes through the registry *only*: every target —
+    built-in or downstream — plugs in via :func:`register_target`.
+    """
+    factory = _TARGET_FACTORIES.get(target)
+    if factory is None:
+        raise UnknownTargetError(
+            f"unknown backend target {target!r}; registered targets: "
+            f"{', '.join(available_targets())}")
+    return factory(devices=devices)
+
+
+def resolve_target(value: Optional[str], *,
+                   version_default: Optional[str] = None,
+                   source: str = "backend.target") -> str:
+    """The one validation path for every way a target can be configured.
+
+    ``backend.target`` deck keys, the ``REPRO_BACKEND`` env var and the
+    ``--backend`` CLI flag all funnel through here; an unknown name
+    raises :class:`repro.core.errors.ConfigError` naming the offending
+    ``source`` and listing the registered targets, which the CLI and the
+    serve layer report as a one-line error with exit status 2.
+
+    ``auto`` resolves to ``version_default`` when given (the version
+    config's preferred target), and passes through unchanged otherwise
+    so callers without a version in hand can defer resolution.
+    """
+    target = (value or "auto").strip() if isinstance(value, str) or value is None \
+        else value
+    if target == "auto":
+        if version_default is None:
+            return "auto"
+        target = version_default
+    if target not in _TARGET_FACTORIES:
+        from repro.core.errors import ConfigError
+
+        raise ConfigError(
+            f"unknown backend target {target!r} (from {source}); "
+            f"registered targets: {', '.join(available_targets())}, "
+            f"plus 'auto'")
+    return target
+
+
+# the built-in accounting targets; the optimizing `fused` target registers
+# itself from repro.backend.fused (imported by the package __init__)
+register_target("host", lambda devices=None: HostBackend())
+register_target("device", lambda devices=None: DeviceBackend(devices))
+
+
+def __getattr__(name: str):
+    # TARGETS is *derived* from the registry (not a duplicated literal):
+    # late-registered targets show up, and `from ... import TARGETS`
+    # re-executed inside functions always sees the current set
+    if name == "TARGETS":
+        return available_targets()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 # -- current-backend context -------------------------------------------------
@@ -267,11 +449,13 @@ def use_backend(backend: ExecutionBackend):
         set_backend(previous)
 
 
-def parallel_for(name: str, fn: Callable, npoints: int, **kwargs):
+def parallel_for(name: str, fn: Callable, npoints: int,
+                 spec: Optional[LaunchSpec] = None, **kwargs):
     """Launch ``fn`` through the currently active backend."""
-    return current_backend().parallel_for(name, fn, npoints, **kwargs)
+    return current_backend().parallel_for(name, fn, npoints, spec, **kwargs)
 
 
-def reduce_data(name: str, values, op: str = "min", **kwargs) -> float:
+def reduce_data(name: str, values, op: str = "min",
+                spec: Optional[LaunchSpec] = None, **kwargs) -> float:
     """Reduce ``values`` through the currently active backend."""
-    return current_backend().reduce_data(name, values, op, **kwargs)
+    return current_backend().reduce_data(name, values, op, spec, **kwargs)

@@ -25,8 +25,8 @@ Deck keys (beyond the ones :class:`repro.io.inputs.InputDeck` maps onto
     run.max_wall_s  = 60             # hard wall budget, seconds
     runtime.executor = serial        # or pool: multiprocessing task runtime
     runtime.workers  = 4             # pool worker count (default: CPU count)
-    backend.target   = auto          # execution backend: host | device | auto
-                                     # (or the REPRO_BACKEND env var)
+    backend.target   = auto          # execution backend: host | device |
+                                     # fused | auto (or REPRO_BACKEND)
     resilience.watchdog = true       # per-step NaN/positivity/CFL validation
     resilience.max_step_retries = 3  # rollback/retry budget per step
     resilience.retries      = 2      # supervised-pool per-task retry budget
@@ -116,11 +116,15 @@ def main(argv: Optional[list] = None) -> int:
                         help="cross-run immutable cache directory (grid "
                              "coords, curvilinear metrics, EOS tables, "
                              "interp weights; overrides run.cache_dir)")
+    # no argparse choices: the registry resolver validates the name and
+    # an unknown target is a ConfigError (exit 2) listing the registered
+    # targets, so plugin-registered targets work from the CLI unchanged
     parser.add_argument("--backend", default=None,
-                        choices=["host", "device", "auto"],
                         help="override backend.target: 'host' (plain "
                              "NumPy), 'device' (recorded launches on the "
-                             "simulated GPUs), or 'auto' (per version)")
+                             "simulated GPUs), 'fused' (optimizing), "
+                             "'auto' (per version), or any registered "
+                             "target name")
     parser.add_argument("--faults", default=None, metavar="PLAN",
                         help="fault-injection plan, e.g. "
                              "'kill_worker@2.1;nan@4' (overrides "

@@ -39,6 +39,7 @@ from repro.amr.interp_weno import WenoInterp
 from repro.amr.interpolate import ConservativeLinearInterp, TrilinearInterp
 from repro.amr.multifab import MultiFab
 from repro.amr.tagging import tag_density_gradient, tag_momentum_gradient, tagged_cells
+from repro.backend import LaunchSpec
 from repro.cases.base import Case
 from repro.core.versions import VersionConfig, get_version
 from repro.kernels.api import make_backend
@@ -58,14 +59,10 @@ INTERPOLATORS = {
 }
 
 
-class ConfigError(ValueError):
-    """An invalid run configuration, reported before anything is built.
-
-    Raised by :meth:`CroccoConfig.validate` (and the env-var parsers) so
-    the CLI and the serve layer can turn a bad deck or environment into
-    a clear one-line message instead of a traceback deep inside pool or
-    engine construction.
-    """
+# ConfigError moved to repro.core.errors so the execution-backend target
+# resolver can raise it without importing the driver; re-exported here
+# because this was its historical home and callers import it from both.
+from repro.core.errors import ConfigError  # noqa: E402,F401
 
 
 def _workers_from_env() -> Optional[int]:
@@ -122,10 +119,13 @@ class CroccoConfig:
     #: the report's Bottleneck section); measured cost is ~per-task dict
     #: bookkeeping, itself reported as perf.overhead_s
     perfscope: bool = True
-    #: execution-backend target: "host" (plain NumPy), "device" (recorded
-    #: launches on the simulated GPUs), or "auto" (device on the GPU
+    #: execution-backend target: any name in the target registry —
+    #: "host" (plain NumPy), "device" (recorded launches on the
+    #: simulated GPUs), "fused" (optimizing: fused WENO sweeps, cached
+    #: scratch, optional numba JIT) — or "auto" (device on the GPU
     #: versions, host otherwise); deck key ``backend.target``, overridden
-    #: by the REPRO_BACKEND env var for CI matrices
+    #: by the REPRO_BACKEND env var for CI matrices.  Validated by
+    #: :func:`repro.backend.resolve_target` (ConfigError, CLI exit 2).
     backend_target: str = field(
         default_factory=lambda: os.environ.get("REPRO_BACKEND", "auto"))
     #: cross-run immutable cache directory (grid coords, curvilinear
@@ -250,22 +250,25 @@ class Crocco(AmrCore):
                             for r in range(comm.nranks)]
 
         # execution backend: every launch — flux kernels and the AMR
-        # substrate alike — routes through this shared target
-        from repro.backend import TARGETS, make_exec_backend
+        # substrate alike — routes through this shared target.  The
+        # single resolver handles deck key / env var / CLI flag alike
+        # and reports unknown targets as ConfigError (CLI exit 2).
+        from repro.backend import make_exec_backend, resolve_target
 
-        target = self.config.backend_target or "auto"
-        if target == "auto":
-            target = self.version.exec_target
-        if target not in TARGETS:
-            raise ValueError(
-                f"unknown backend target {target!r}; options "
-                f"{TARGETS + ('auto',)}")
+        source = ("REPRO_BACKEND" if os.environ.get("REPRO_BACKEND")
+                  and self.config.backend_target
+                  == os.environ.get("REPRO_BACKEND")
+                  else "backend.target")
+        target = resolve_target(self.config.backend_target,
+                                version_default=self.version.exec_target,
+                                source=source)
         self.backend_target = target
         backend_devices = self.devices
-        if target == "device" and backend_devices is None:
-            # a CPU version forced onto the device target gets accounting
-            # devices of its own; self.devices stays None so the residency
-            # and memory-report logic keeps its CPU-version behavior
+        if target != "host" and backend_devices is None:
+            # a CPU version forced onto an accounting target (device or
+            # fused) gets accounting devices of its own; self.devices
+            # stays None so the residency and memory-report logic keeps
+            # its CPU-version behavior
             from repro.kernels.device import GpuDevice
 
             backend_devices = [GpuDevice(name=f"V100-rank{r}")
@@ -531,7 +534,8 @@ class Crocco(AmrCore):
                     "BC_fill",
                     lambda fab=fab, i=i: self.case.bc_fill(
                         fab, geom, self.time, self.coords[lev].fab(i)),
-                    ghost_pts, kernel_class="fillpatch", rank=mf.dm[i])
+                    ghost_pts,
+                    LaunchSpec(kernel_class="fillpatch", rank=mf.dm[i]))
 
     def _fill_patch(self, lev: int) -> None:
         with self.profiler.region("FillPatch"):

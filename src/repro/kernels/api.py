@@ -32,13 +32,15 @@ from typing import Optional
 
 import numpy as np
 
-from repro.backend import (DeviceBackend, ExecutionBackend, HostBackend)
+from repro.backend import (DeviceBackend, ExecutionBackend, HostBackend,
+                           LaunchSpec)
 from repro.kernels.counts import (
     BUDGETS,
     COMPUTEDT_BUDGET,
     UPDATE_BUDGET,
     VISCOUS_BUDGET,
     WENO_BUDGET,
+    fused_weno_budget,
 )
 from repro.kernels.device import GpuDevice
 from repro.numerics.cfl import local_max_rate
@@ -120,11 +122,18 @@ class KernelSet:
             # double and the update accumulates in double (the standard
             # mixed-precision recipe the paper lists as future work)
             u = u.astype(np.float32).astype(np.float64)
-        directions = range(dim) if self.backend == "fortran" else range(dim - 1, -1, -1)
-        out: Optional[np.ndarray] = None
-        for d in directions:
-            contrib = self._weno_direction(u, metrics, d, ng, dev)
-            out = contrib if out is None else out + contrib
+        if (getattr(self.exec_backend, "fuses_kernels", False)
+                and not self.convective.characteristic):
+            # the fused target collapses the per-direction sweeps into
+            # one wide launch with shared primitives and cached scratch
+            out = self._fused_sweep(u, metrics, ng, dev)
+        else:
+            directions = (range(dim) if self.backend == "fortran"
+                          else range(dim - 1, -1, -1))
+            out = None
+            for d in directions:
+                contrib = self._weno_direction(u, metrics, d, ng, dev)
+                out = contrib if out is None else out + contrib
         if self.viscous is not None:
             out = out + self._viscous(u, metrics, ng, dev)
         assert out is not None
@@ -139,19 +148,52 @@ class KernelSet:
         body = lambda: self.convective.divergence(
             self.layout, self.eos, u, metrics, d, ng)
         npts = int(np.prod([s - 2 * ng for s in u.shape[1:]]))
+        spec = LaunchSpec(kernel_class="flux", budget=WENO_BUDGET,
+                          device=dev, shape=u.shape)
         if self.on_gpu:
             # scratch arrays live in device global memory, allocated from
             # the host before launch (Sec. IV-B)
             scratch = dev.alloc((self.layout.ncons,) + u.shape[1:])
             try:
-                return self.exec_backend.parallel_for(
-                    name, body, npts, kernel_class="flux",
-                    budget=WENO_BUDGET, device=dev)
+                return self.exec_backend.parallel_for(name, body, npts, spec)
             finally:
                 scratch.free()
-        return self.exec_backend.parallel_for(
-            name, body, npts, kernel_class="flux", budget=WENO_BUDGET,
-            device=dev)
+        return self.exec_backend.parallel_for(name, body, npts, spec)
+
+    def _fused_sweep(self, u: np.ndarray, metrics: Metrics, ng: int,
+                     device: Optional[GpuDevice] = None) -> np.ndarray:
+        """One wide launch for all directional sweeps (fused target).
+
+        The launch is named ``WENOxy``/``WENOxyz`` and covers
+        ``dim * nvalid`` points, so per-class point and flop totals stay
+        comparable with the per-direction launch stream.
+        """
+        from repro.kernels.fused import fused_sweep
+
+        backend = self.exec_backend
+        dim = self.layout.dim
+        dev = device if device is not None else self.device
+        name = "WENO" + "xyz"[:dim]
+        npts = dim * int(np.prod([s - 2 * ng for s in u.shape[1:]]))
+        scratch = getattr(backend, "scratch", None)
+        if scratch is None:
+            from repro.backend import ScratchCache
+
+            scratch = self._local_scratch = getattr(
+                self, "_local_scratch", None) or ScratchCache()
+        body = lambda: fused_sweep(
+            self.layout, self.eos, self.convective, u, metrics, ng,
+            scratch, jit=getattr(backend, "jit_enabled", False),
+            reverse=(self.backend != "fortran"))
+        spec = LaunchSpec(kernel_class="flux", budget=fused_weno_budget(dim),
+                          device=dev, shape=u.shape)
+        if self.on_gpu:
+            dscratch = dev.alloc((self.layout.ncons,) + u.shape[1:])
+            try:
+                return backend.parallel_for(name, body, npts, spec)
+            finally:
+                dscratch.free()
+        return backend.parallel_for(name, body, npts, spec)
 
     def _viscous(self, u: np.ndarray, metrics: Metrics, ng: int,
                  device: Optional[GpuDevice] = None) -> np.ndarray:
@@ -162,7 +204,8 @@ class KernelSet:
             "Viscous",
             lambda: self.viscous.divergence(self.layout, self.eos, u,
                                             metrics, ng),
-            npts, kernel_class="flux", budget=VISCOUS_BUDGET, device=dev)
+            npts, LaunchSpec(kernel_class="flux", budget=VISCOUS_BUDGET,
+                             device=dev, shape=u.shape))
 
     # -- RK update kernel -----------------------------------------------------
     def update(self, u_valid: np.ndarray, du: np.ndarray, rhs: np.ndarray,
@@ -174,7 +217,8 @@ class KernelSet:
         self.exec_backend.parallel_for(
             "Update",
             lambda: rk3_stage(u_valid, du, rhs, dt, stage),
-            npts, kernel_class="update", budget=UPDATE_BUDGET, device=dev)
+            npts, LaunchSpec(kernel_class="update", budget=UPDATE_BUDGET,
+                             device=dev, shape=u_valid.shape))
 
     # -- ComputeDt ----------------------------------------------------------
     def max_rate(self, u: np.ndarray, metrics: Metrics,

@@ -25,6 +25,7 @@ kernels:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from dataclasses import replace as _dc_replace
 
 
 @dataclass(frozen=True)
@@ -64,6 +65,22 @@ UPDATE_BUDGET = KernelBudget(
     l2_amplification=1.0,
     l1_amplification=1.0,
     registers_per_thread=64,
+)
+
+#: the fused all-directions WENO launch (``WENOxy``/``WENOxyz`` on the
+#: ``fused`` execution target).  npoints for the fused launch is
+#: dim * nvalid, so flops/point stays 600 (same arithmetic as the
+#: per-direction sweeps) while DRAM bytes/point drops: primitives are
+#: computed once for all directions and intermediates live in reused
+#: scratch instead of round-tripping global-memory staging arrays —
+#: the Sec. IV-B scratch traffic the fusion removes.
+FUSED_WENO_BUDGET = KernelBudget(
+    name="WENOxyz",
+    flops_per_point=600.0,
+    dram_bytes_per_point=280.0,
+    l2_amplification=2.2,
+    l1_amplification=5.0,
+    registers_per_thread=255,
 )
 
 COMPUTEDT_BUDGET = KernelBudget(
@@ -140,10 +157,19 @@ BCFILL_BUDGET = KernelBudget(
 BUDGETS = {
     b.name: b for b in (
         WENO_BUDGET, VISCOUS_BUDGET, UPDATE_BUDGET, COMPUTEDT_BUDGET,
+        FUSED_WENO_BUDGET,
+        _dc_replace(FUSED_WENO_BUDGET, name="WENOxy"),
         FILLBOUNDARY_BUDGET, PARALLELCOPY_BUDGET, INTERP_BUDGET,
         AVERAGEDOWN_BUDGET, TAGGING_BUDGET, BCFILL_BUDGET,
     )
 }
+
+
+def fused_weno_budget(dim: int) -> KernelBudget:
+    """Budget for the fused launch covering all ``dim`` sweeps."""
+    if dim >= 2:
+        return BUDGETS["WENO" + "xyz"[:dim]]
+    return WENO_BUDGET  # 1D: nothing to fuse across directions
 
 #: launch-name prefix -> budget, for the families of labeled launches the
 #: execution backend emits (WENOx/WENOy/WENOz, FB_pack/FB_unpack, ...)

@@ -39,9 +39,12 @@ def local_max_rate(layout: StateLayout, eos, u: np.ndarray, metrics,
         from repro.backend import current_backend
 
         backend = current_backend()
-    return backend.reduce_data("ComputeDt", total, "max",
-                               kernel_class="reduction", rank=rank,
-                               device=device)
+    from repro.backend import LaunchSpec
+
+    return backend.reduce_data(
+        "ComputeDt", total, "max",
+        LaunchSpec(kernel_class="reduction", rank=rank, device=device,
+                   shape=total.shape))
 
 
 def compute_dt(

@@ -78,11 +78,17 @@ def kill_group(proc):
 
 
 def wait_running_with_checkpoint(root, run_id, timeout=90.0):
-    """Block until the run is mid-flight with >= 1 autocheckpoint saved."""
+    """Block until the run is mid-flight with >= 1 autocheckpoint saved.
+
+    A checkpoint counts only once its Header is published — a bare
+    ``.partial`` directory is an in-progress save that a kill would
+    legitimately leave unresumable.
+    """
     autochk = Path(root) / "runs" / run_id / "autochk"
     t_end = time.monotonic() + timeout
     while time.monotonic() < t_end:
-        if autochk.is_dir() and any(autochk.iterdir()):
+        if autochk.is_dir() and any(
+                (p / "Header").exists() for p in autochk.iterdir()):
             return
         time.sleep(0.05)
     raise AssertionError(f"{run_id} never saved an autocheckpoint")
